@@ -1,0 +1,64 @@
+"""Extension bench — incast at a genuine fan-in bottleneck.
+
+The paper's two-host testbed emulates multi-host traffic with
+multi-GID; this bench uses the N-to-1 extension topology to study the
+scenario the paper's findings keep pointing at (incast congestion,
+§6.2.2) under three buffering/control regimes:
+
+1. deep buffers, no control  — full throughput, fair, no loss;
+2. shallow buffers, no control — tail drops + Go-back-N storms and
+   fairness collapse (why lossy RoCE needs good retransmission);
+3. DCQCN with organic ECN marking — lossless via backpressure, fair,
+   at the cost of DCQCN's slow rate recovery.
+"""
+
+from conftest import emit
+
+from repro.core.incast import IncastConfig, run_incast
+
+SENDERS = 4
+
+
+def run_regime(regime: str, seed: int = 55):
+    kwargs = {}
+    if regime == "shallow":
+        kwargs["receiver_queue_bytes"] = 200 * 1024
+    elif regime == "dcqcn":
+        kwargs["ecn_threshold_kb"] = 100
+    config = IncastConfig(num_senders=SENDERS, nic_type="cx6",
+                          num_msgs_per_sender=8, message_size=256 * 1024,
+                          seed=seed, **kwargs)
+    return run_incast(config)
+
+
+def test_ext_incast_regimes(benchmark):
+    regimes = {name: run_regime(name) for name in ("deep", "shallow", "dcqcn")}
+
+    lines = ["4x100G senders -> 1x100G receiver, 8x256KB Writes each",
+             "regime    aggregate  fairness  retransmits  queue-marks  drops",
+             "-" * 66]
+    for name, result in regimes.items():
+        ports = result.switch_counters["ports"]
+        drops = sum(p["tx_drops"] for p in ports.values())
+        lines.append(
+            f"{name:<9s}{result.aggregate_goodput_bps / 1e9:>8.1f}G"
+            f"{result.fairness:>10.2f}"
+            f"{sum(result.per_sender_retransmits.values()):>13d}"
+            f"{result.switch_counters['ecn_marked_by_queue']:>13d}"
+            f"{drops:>7d}")
+    lines += ["",
+              "deep: output-queued fan-in shares the bottleneck fairly;",
+              "shallow: drops + Go-back-N replays wreck fairness;",
+              "dcqcn: marking bounds the queue (no loss) but the paper-",
+              "faithful slow rate recovery costs throughput in short runs"]
+    emit("ext_incast", lines)
+
+    deep, shallow, dcqcn = (regimes[n] for n in ("deep", "shallow", "dcqcn"))
+    assert deep.aggregate_goodput_bps > 85e9
+    assert deep.fairness > 0.95
+    assert sum(shallow.per_sender_retransmits.values()) > 100
+    assert shallow.fairness < deep.fairness - 0.2
+    assert dcqcn.switch_counters["ecn_marked_by_queue"] > 0
+    assert sum(dcqcn.per_sender_retransmits.values()) == 0
+
+    benchmark.pedantic(run_regime, args=("deep",), rounds=2, iterations=1)

@@ -1,0 +1,98 @@
+"""Figure 10 — goodput of two QPs under three ETS settings on CX6 Dx.
+
+Paper: two QPs, 20×1 MB Writes each, DCQCN on, 100 Gbps CX6 Dx.
+
+1. multi-queue vanilla: both ~50 Gbps (even split).
+2. multi-queue + ECN on QP0: QP0 throttled, but QP1 *stays at ~50 Gbps*
+   — the bug: it cannot use QP0's spare bandwidth from another queue.
+3. single queue + ECN on QP0: QP1 expands to take the spare bandwidth.
+
+We run CX6 (buggy, non-work-conserving) and CX5 (spec-compliant) so the
+baseline shows what setting 2 should have looked like.
+"""
+
+from conftest import emit
+from workloads import ets_config
+
+from repro.core.analyzers import per_qp_goodput_gbps
+from repro.core.orchestrator import run_test
+
+SETTINGS = ("multi_vanilla", "multi_ecn", "single_ecn")
+
+
+def measure(nic: str, setting: str, seed: int = 5):
+    result = run_test(ets_config(nic, setting, seed))
+    assert result.integrity.ok
+    return per_qp_goodput_gbps(result.traffic_log)
+
+
+def test_fig10_ets_goodput(benchmark):
+    rows = {(nic, s): measure(nic, s) for nic in ("cx6", "cx5")
+            for s in SETTINGS}
+    lines = ["goodput (Gbps)        QP0     QP1", "-" * 42]
+    for (nic, setting), goodput in rows.items():
+        lines.append(f"{nic} {setting:<14s} {goodput[1]:6.1f}  {goodput[2]:6.1f}")
+    lines += [
+        "",
+        "paper (CX6 Dx): vanilla ~47/47; multi-queue+ECN leaves QP1 at",
+        "its 50% guarantee (non-work-conserving bug); single-queue+ECN",
+        "lets QP1 take the spare bandwidth",
+    ]
+    emit("fig10_ets_goodput", lines)
+
+    cx6 = {s: rows[("cx6", s)] for s in SETTINGS}
+    cx5 = {s: rows[("cx5", s)] for s in SETTINGS}
+
+    # Setting 1: even split around half line rate on both NICs.
+    for data in (cx6, cx5):
+        assert abs(data["multi_vanilla"][1] - data["multi_vanilla"][2]) < 8
+        assert 35 < data["multi_vanilla"][1] < 55
+
+    # Setting 2: the CX6 bug — QP1 pinned near its guarantee.
+    assert cx6["multi_ecn"][1] < 10          # QP0 throttled by DCQCN
+    assert cx6["multi_ecn"][2] < 60          # QP1 can NOT expand
+    # CX5 control: QP1 takes the spare bandwidth (work conserving).
+    assert cx5["multi_ecn"][2] > 75
+
+    # Setting 3: single queue — QP1 expands even on CX6.
+    assert cx6["single_ecn"][2] > 75
+
+    benchmark.pedantic(measure, args=("cx6", "multi_ecn"), rounds=1,
+                       iterations=1)
+
+
+def test_fig10_ablation_work_conserving_flag(benchmark):
+    """Ablation (DESIGN.md): the bug is exactly the scheduler flag.
+
+    Running the identical scenario on a CX6 profile with work
+    conservation forced on restores the CX5 behaviour.
+    """
+    from repro.core.testbed import build_testbed
+    from repro.core.trafficgen import TrafficSession
+    from repro.rdma.profiles import CX6_DX
+
+    config = ets_config("cx6", "multi_ecn", seed=5)
+    testbed = build_testbed(config)
+    # Swap in the patched scheduler before any QPs are created.
+    data_sender = testbed.requester.nic
+    data_sender.ets.work_conserving = True
+
+    from repro.core.intent import expand_periodic_events, translate_events
+
+    session = TrafficSession(testbed, config.traffic)
+    session.connect_all()
+    session.configure_ets()
+    data_sender.ets.work_conserving = True  # configure_ets reinstalls
+    events = expand_periodic_events(config.traffic, config.traffic.periodic_events)
+    testbed.switch_controller.install_events(
+        translate_events(session.metadata, events))
+    session.start()
+    testbed.sim.run(until=config.max_duration_ns)
+
+    goodput = per_qp_goodput_gbps(session.log)
+    lines = [f"CX6 + work-conserving scheduler: QP0={goodput[1]:.1f} "
+             f"QP1={goodput[2]:.1f} Gbps",
+             "expectation: QP1 expands like CX5 (>75 Gbps)"]
+    emit("fig10_ablation_work_conserving", lines)
+    assert goodput[2] > 75
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""§6.2.3 — interoperability problem between CX5 and E810.
+
+Paper: Send traffic from E810 to CX5, five 100 KB messages per QP,
+varying QP count. At 16 QPs the CX5 receiver discards ~500 RX packets
+(rx_discards_phy), mostly on each QP's *first* message; affected
+messages complete in ~20 ms (timeouts) vs 156 µs clean. CX5→CX5 under
+identical settings is clean, and rewriting MigReq=1 at the switch
+removes the problem entirely.
+"""
+
+from conftest import emit
+from workloads import interop_config
+
+from repro.core.orchestrator import Orchestrator, run_test
+from repro.switch.events import RewriteRule
+
+QP_SWEEP = (2, 8, 15, 16, 24, 32)
+
+
+def measure(req_nic: str, resp_nic: str, qps: int, fix: bool = False,
+            seed: int = 21):
+    config = interop_config(req_nic, resp_nic, qps, seed)
+    rules = [RewriteRule(field_name="migreq", value=1)] if fix else None
+    result = Orchestrator(config, rewrite_rules=rules).run()
+    messages = [m for m in result.traffic_log.all_messages if m.ok]
+    slow = [m.completion_time_ns for m in messages
+            if m.completion_time_ns > 1_000_000]
+    clean = [m.completion_time_ns for m in messages
+             if m.completion_time_ns <= 1_000_000]
+    return {
+        "rx_discards": result.responder_counters["rx_discards_phy"],
+        "clean_mct_us": (sum(clean) / len(clean) / 1e3) if clean else 0.0,
+        "slow_mct_us": (sum(slow) / len(slow) / 1e3) if slow else 0.0,
+        "slow_msgs": len(slow),
+        "aborted": result.traffic_log.aborted_qps,
+    }
+
+
+def test_sec623_interop_qp_sweep(benchmark):
+    sweep = {qps: measure("e810", "cx5", qps) for qps in QP_SWEEP}
+    control = measure("cx5", "cx5", 16)
+    fixed = measure("e810", "cx5", 16, fix=True)
+
+    lines = ["e810 -> cx5 Send, five 100KB msgs/QP",
+             "qps   rx_discards  clean-MCT     slow-MCT  slow-msgs",
+             "-" * 58]
+    for qps, m in sweep.items():
+        lines.append(f"{qps:>3d}   {m['rx_discards']:>10d}  "
+                     f"{m['clean_mct_us']:>8.1f}us  {m['slow_mct_us']:>9.1f}us"
+                     f"  {m['slow_msgs']:>6d}")
+    lines += [
+        f"cx5->cx5 @16:    {control['rx_discards']:>6d} discards, "
+        f"clean MCT {control['clean_mct_us']:.1f}us",
+        f"fix(MigReq=1):   {fixed['rx_discards']:>6d} discards, "
+        f"clean MCT {fixed['clean_mct_us']:.1f}us",
+        "",
+        "paper: ~500 discards at 16 QPs, drops on first messages, MCT",
+        "156us clean vs 20460us affected; clean for cx5->cx5; fixed by",
+        "the MigReq rewrite action",
+    ]
+    emit("sec623_interop", lines)
+
+    # Shape: clean below the context-table limit, broken at >= 16,
+    # worsening with QP count.
+    for qps in (2, 8, 15):
+        assert sweep[qps]["rx_discards"] == 0
+    assert sweep[16]["rx_discards"] > 0
+    assert sweep[32]["rx_discards"] > sweep[16]["rx_discards"]
+    # Affected messages suffer timeout-scale MCTs; clean ones ~150 µs.
+    assert sweep[16]["slow_mct_us"] > 10_000
+    assert 50 < sweep[16]["clean_mct_us"] < 400
+    # Controls.
+    assert control["rx_discards"] == 0
+    assert fixed["rx_discards"] == 0
+
+    benchmark.pedantic(measure, args=("e810", "cx5", 16), rounds=1,
+                       iterations=1)
+
+
+def test_sec623_drops_concentrate_on_first_messages(benchmark):
+    config = interop_config("e810", "cx5", 16, seed=22)
+    result = run_test(config)
+    slow = [m for m in result.traffic_log.all_messages
+            if m.ok and m.completion_time_ns > 1_000_000]
+    lines = [f"slow messages: {len(slow)}, msg indices: "
+             f"{sorted({m.msg_index for m in slow})}",
+             "paper: most packet drops happen on the first message of "
+             "each QP"]
+    emit("sec623_first_message_drops", lines)
+    assert slow and all(m.msg_index == 0 for m in slow)
+    benchmark.pedantic(run_test, args=(config,), rounds=1, iterations=1)

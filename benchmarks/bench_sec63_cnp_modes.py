@@ -1,0 +1,49 @@
+"""§6.3 — CNP rate-limiting modes.
+
+Paper: by injecting ECN marks across multiple QPs and destination IPs
+(multi-GID hosts) and comparing the CNP streams, Lumina reveals that
+CX4 Lx rate-limits CNP generation per destination IP, CX5/CX6 Dx per
+NIC port, and E810 per QP.
+"""
+
+from conftest import emit
+from workloads import cnp_scope_config
+
+from repro.core.analyzers import infer_rate_limit_scope
+from repro.core.orchestrator import run_test
+from repro.net.addressing import parse_cidr
+
+EXPECTED = {
+    "cx4": "per_ip",
+    "cx5": "per_port",
+    "cx6": "per_port",
+    "e810": "per_qp",
+}
+
+#: Effective interval each NIC enforces in this experiment.
+INTERVALS_NS = {"cx4": 4_000, "cx5": 4_000, "cx6": 4_000, "e810": 50_000}
+
+
+def infer(nic: str, seed: int = 37) -> str:
+    config = cnp_scope_config(nic, seed)
+    result = run_test(config)
+    ip_to_port = {}
+    for cidr in config.requester.ip_list:
+        ip_to_port[parse_cidr(cidr)[0]] = "requester-port"
+    for cidr in config.responder.ip_list:
+        ip_to_port[parse_cidr(cidr)[0]] = "responder-port"
+    return infer_rate_limit_scope(result.trace, INTERVALS_NS[nic],
+                                  ip_to_port=ip_to_port)
+
+
+def test_sec63_cnp_rate_limit_modes(benchmark):
+    inferred = {nic: infer(nic) for nic in EXPECTED}
+    lines = ["nic    inferred-scope   paper", "-" * 36]
+    for nic, scope in inferred.items():
+        lines.append(f"{nic:>4s}   {scope:<14s}   {EXPECTED[nic]}")
+    lines += ["", "experiment: 4 QPs over 2 GIDs per host, every data",
+              "packet ECN-marked, DCQCN RP disabled; scope inferred from",
+              "which merged CNP streams respect the minimum interval"]
+    emit("sec63_cnp_modes", lines)
+    assert inferred == EXPECTED
+    benchmark.pedantic(infer, args=("cx4",), rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench file regenerates one table or figure from the paper's
+evaluation. Besides the pytest-benchmark timing, each bench writes its
+paper-vs-measured series to ``benchmarks/results/<name>.txt`` (and
+prints it) so the reproduction numbers survive output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, lines) -> str:
+    """Print and persist one bench's result table."""
+    text = "\n".join(lines)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

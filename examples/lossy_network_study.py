@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Lossy RoCE study (§2 + §7 discussion).
+
+§2 recounts how end-to-end testing concluded that ConnectX-4 "provides
+solid performance even in the presence of packet drops" — while Lumina
+shows its per-loss recovery takes ~200 µs (~100 RTTs). This study makes
+the connection explicit: sweep a deterministic loss rate (drop every
+Nth packet, the reproducible stand-in for "N⁻¹ loss") and watch how
+goodput degrades per NIC. NICs with fast Go-back-N recovery (CX5/CX6)
+tolerate loss far better than CX4 Lx or E810.
+
+Also demonstrates the §7 extension events: the same sweep with *delay*
+instead of loss shows reordering-tolerance without retransmission cost.
+
+Run:  python examples/lossy_network_study.py
+"""
+
+from repro.core.analyzers import mct_stats
+from repro.core.config import (
+    DataPacketEvent,
+    DumperPoolConfig,
+    HostConfig,
+    PeriodicDropIntent,
+    TestConfig,
+    TrafficConfig,
+)
+from repro.core.orchestrator import run_test
+
+NICS = ("cx4", "cx5", "cx6", "e810")
+LOSS_PERIODS = (0, 1000, 200, 100)   # 0 = lossless; else drop every Nth
+
+
+def run_lossy(nic: str, period: int, seed: int = 19):
+    traffic = TrafficConfig(
+        num_connections=1, rdma_verb="write", num_msgs_per_qp=10,
+        message_size=102400, mtu=1024, barrier_sync=False, tx_depth=2,
+        min_retransmit_timeout=17,
+        periodic_events=(PeriodicDropIntent(qpn=1, period=period),)
+        if period else (),
+    )
+    config = TestConfig(
+        requester=HostConfig(nic_type=nic, ip_list=("10.0.0.1/24",)),
+        responder=HostConfig(nic_type=nic, ip_list=("10.0.0.2/24",)),
+        traffic=traffic, seed=seed, dumpers=DumperPoolConfig(num_servers=3),
+    )
+    result = run_test(config)
+    return result.traffic_log.total_goodput_bps() / 1e9
+
+
+def run_delay_sweep(nic: str, delay_us: float, seed: int = 23):
+    """Same position in the stream, but delayed instead of dropped."""
+    traffic = TrafficConfig(
+        num_connections=1, rdma_verb="write", num_msgs_per_qp=10,
+        message_size=102400, mtu=1024, barrier_sync=False, tx_depth=2,
+        data_pkt_events=tuple(
+            DataPacketEvent(qpn=1, psn=p, type="delay", delay_us=delay_us)
+            for p in range(100, 1001, 100)),
+    )
+    config = TestConfig(
+        requester=HostConfig(nic_type=nic, ip_list=("10.0.0.1/24",)),
+        responder=HostConfig(nic_type=nic, ip_list=("10.0.0.2/24",)),
+        traffic=traffic, seed=seed, dumpers=DumperPoolConfig(num_servers=3),
+    )
+    result = run_test(config)
+    stats = mct_stats(result.traffic_log.all_messages)
+    return stats.mean_us if stats else 0.0
+
+
+def main() -> None:
+    print("goodput (Gbps) under deterministic loss (drop every Nth packet)")
+    header = "nic     " + "".join(
+        f"{'lossless' if p == 0 else '1/' + str(p):>10s}" for p in LOSS_PERIODS)
+    print(header)
+    print("-" * len(header))
+    for nic in NICS:
+        row = [f"{nic:<6s}  "]
+        for period in LOSS_PERIODS:
+            row.append(f"{run_lossy(nic, period):>10.1f}")
+        print("".join(row))
+    print()
+    print("mean MCT (us) when every 100th packet is *delayed* 20us instead")
+    for nic in ("cx4", "cx5"):
+        print(f"  {nic}: {run_delay_sweep(nic, 20.0):.1f} us "
+              f"(recovery by NAK + late duplicate, no timeout)")
+    print()
+    print("Takeaway (matches §6.1): the slower a NIC's loss recovery,")
+    print("the faster its goodput collapses as loss increases - CX5/CX6")
+    print("keep most of their goodput at 1% loss, CX4 Lx and E810 do not.")
+
+
+if __name__ == "__main__":
+    main()

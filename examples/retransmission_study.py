@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Retransmission micro-behaviour study across NIC models (§6.1).
+
+Reproduces the Fig. 8/9 methodology at small scale: for each NIC and
+verb, drop one packet of a 100 KB message and break the recovery into
+NACK generation (receiver side) and NACK reaction (sender side) using
+only switch timestamps from the mirrored trace.
+
+Run:  python examples/retransmission_study.py
+"""
+
+from repro.core.analyzers import analyze_retransmissions
+from repro.core.config import (
+    DataPacketEvent,
+    DumperPoolConfig,
+    HostConfig,
+    TestConfig,
+    TrafficConfig,
+)
+from repro.core.orchestrator import run_test
+
+NICS = ("cx4", "cx5", "cx6", "e810")
+VERBS = ("write", "read")
+
+
+def measure(nic: str, verb: str, drop_psn: int = 50, seed: int = 3):
+    traffic = TrafficConfig(
+        num_connections=1, rdma_verb=verb, num_msgs_per_qp=2,
+        message_size=102400, mtu=1024,
+        min_retransmit_timeout=17,  # keep the RTO out of the way
+        data_pkt_events=(DataPacketEvent(qpn=1, psn=drop_psn, type="drop"),),
+    )
+    config = TestConfig(
+        requester=HostConfig(nic_type=nic, ip_list=("10.0.0.1/24",)),
+        responder=HostConfig(nic_type=nic, ip_list=("10.0.0.2/24",)),
+        traffic=traffic, seed=seed,
+        dumpers=DumperPoolConfig(num_servers=3),
+    )
+    result = run_test(config)
+    assert result.integrity.ok, "incomplete capture - rerun"
+    event = analyze_retransmissions(result.trace)[0]
+    return event
+
+
+def fmt_us(ns) -> str:
+    if ns is None:
+        return "      -"
+    us = ns / 1e3
+    return f"{us:>9.1f}" if us < 10_000 else f"{us / 1e3:>7.1f}ms"
+
+
+def main() -> None:
+    print("Go-back-N recovery breakdown (drop PSN 50 of a 100 KB message)")
+    print()
+    header = f"{'nic':>5s} {'verb':>6s} {'NACK-gen':>10s} {'NACK-react':>11s} {'total':>10s}"
+    print(header)
+    print("-" * len(header))
+    for verb in VERBS:
+        for nic in NICS:
+            event = measure(nic, verb)
+            print(f"{nic:>5s} {verb:>6s} {fmt_us(event.nack_generation_ns):>10s}"
+                  f" {fmt_us(event.nack_reaction_ns):>11s}"
+                  f" {fmt_us(event.total_recovery_ns):>10s}")
+        print()
+    print("Observations (match §6.1):")
+    print(" * CX5/CX6 recover in single-digit microseconds.")
+    print(" * CX4 Lx reaction is ~170 us -> total ~200 us, about 100 RTTs.")
+    print(" * Read loss detection on E810 takes ~83 ms - a hidden slow")
+    print("   path for out-of-order Read responses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run <config.json>``   — run one test from a JSON config (the dict
+  shape of Listings 1–2) and print the full report.
+* ``fuzz <config.json>``  — fuzz around a base config (Algorithm 1);
+  ``--target {general,noisy-neighbor,counter-bugs}`` uses a preset.
+* ``suite <nic>``         — run the conformance battery (scorecard).
+* ``incast``              — run an N-to-1 fan-in workload.
+* ``nics``                — list the built-in NIC behaviour profiles.
+* ``example-config``      — print a ready-to-edit JSON config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core.config import TestConfig
+from .core.fuzz import LuminaFuzzer
+from .core.orchestrator import run_test
+from .core.report import render_report
+from .rdma.profiles import PROFILES
+
+_EXAMPLE_CONFIG = {
+    "requester": {
+        "nic": {"type": "cx5", "ip-list": ["10.0.0.1/24"]},
+        "roce-parameters": {"dcqcn-np-enable": True,
+                            "min-time-between-cnps": 4,
+                            "adaptive-retrans": False},
+    },
+    "responder": {"nic": {"type": "cx5", "ip-list": ["10.0.0.2/24"]}},
+    "traffic": {
+        "num-connections": 2,
+        "rdma-verb": "write",
+        "num-msgs-per-qp": 10,
+        "mtu": 1024,
+        "message-size": 10240,
+        "barrier-sync": True,
+        "min-retransmit-timeout": 14,
+        "max-retransmit-retry": 7,
+        "data-pkt-events": [
+            {"qpn": 1, "psn": 4, "type": "ecn", "iter": 1},
+            {"qpn": 2, "psn": 5, "type": "drop", "iter": 1},
+            {"qpn": 2, "psn": 5, "type": "drop", "iter": 2},
+        ],
+    },
+    "seed": 1,
+}
+
+
+def _load_config(path: str, seed=None) -> TestConfig:
+    with open(path) as handle:
+        data = json.load(handle)
+    if seed is not None:
+        data["seed"] = seed
+    return TestConfig.from_dict(data)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _load_config(args.config, args.seed)
+    result = run_test(config)
+    report = render_report(result)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report, end="")
+    return 0 if result.ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.target:
+        from .core.fuzz import make_fuzzer
+
+        fuzzer, target = make_fuzzer(args.target, args.nic,
+                                     seed=args.seed or 1)
+        print(f"target: {target.name} — {target.description} (nic={args.nic})")
+    else:
+        if not args.config:
+            print("error: provide a config file or --target", file=sys.stderr)
+            return 2
+        config = _load_config(args.config, args.seed)
+        fuzzer = LuminaFuzzer(config, seed=args.seed or config.seed,
+                              anomaly_threshold=args.threshold)
+    report = fuzzer.run(iterations=args.iterations,
+                        stop_on_first=args.stop_on_first)
+    print(f"iterations: {report.iterations_run}  "
+          f"findings: {len(report.findings)}  "
+          f"invalid: {report.invalid_runs}")
+    for finding in report.findings:
+        print(" ", finding.summary())
+    return 0 if report.found_anomaly else 2
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from .core.suite import run_conformance_suite
+
+    card = run_conformance_suite(args.nic, seed=args.seed,
+                                 checks=args.checks or None)
+    print(card.render())
+    return 0 if card.all_passed else 1
+
+
+def cmd_incast(args: argparse.Namespace) -> int:
+    from .core.incast import IncastConfig, run_incast
+
+    result = run_incast(IncastConfig(
+        num_senders=args.senders, nic_type=args.nic,
+        num_msgs_per_sender=args.messages, message_size=args.size,
+        ecn_threshold_kb=args.ecn_threshold_kb,
+        receiver_queue_bytes=args.queue_kb * 1024 if args.queue_kb else None,
+        seed=args.seed,
+    ))
+    drops = sum(p["tx_drops"] for p in result.switch_counters["ports"].values())
+    print(f"{args.senders} senders ({args.nic}) -> 1 receiver")
+    print(f"aggregate goodput: {result.aggregate_goodput_bps / 1e9:.1f} Gbps")
+    print(f"fairness (Jain):   {result.fairness:.2f}")
+    print(f"retransmitted:     {sum(result.per_sender_retransmits.values())}")
+    print(f"queue ECN marks:   {result.switch_counters['ecn_marked_by_queue']}")
+    print(f"switch drops:      {drops}")
+    print(f"capture integrity: {'PASS' if result.integrity.ok else 'FAIL'}")
+    return 0
+
+
+def cmd_nics(_args: argparse.Namespace) -> int:
+    print(f"{'name':<8s}{'vendor':<12s}{'speed':<9s}behaviour notes")
+    print("-" * 70)
+    for profile in PROFILES.values():
+        notes = []
+        if not profile.ets_work_conserving:
+            notes.append("non-work-conserving ETS")
+        if profile.pipeline_stall_read_loss_threshold is not None:
+            notes.append("noisy-neighbor stall")
+        if profile.migreq_initial == 0:
+            notes.append("sends MigReq=0")
+        if profile.migreq_zero_slow_path:
+            notes.append("MigReq=0 slow path")
+        if profile.stuck_counters:
+            notes.append(f"stuck: {','.join(sorted(profile.stuck_counters))}")
+        if profile.hidden_cnp_interval_ns:
+            notes.append(f"hidden CNP interval "
+                         f"{profile.hidden_cnp_interval_ns // 1000}us")
+        print(f"{profile.name:<8s}{profile.vendor:<12s}"
+              f"{profile.default_bandwidth_gbps:>4.0f}Gbps  "
+              + ("; ".join(notes) if notes else "spec-compliant"))
+    return 0
+
+
+def cmd_example_config(_args: argparse.Namespace) -> int:
+    print(json.dumps(_EXAMPLE_CONFIG, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lumina (SIGCOMM 2023) reproduction: test hardware "
+                    "network stack models in simulation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one test from a JSON config")
+    run_p.add_argument("config")
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--output", "-o", help="write the report to a file")
+    run_p.set_defaults(func=cmd_run)
+
+    fuzz_p = sub.add_parser("fuzz", help="fuzz around a base config")
+    fuzz_p.add_argument("config", nargs="?",
+                        help="JSON base config (omit when using --target)")
+    fuzz_p.add_argument("--target",
+                        choices=("general", "noisy-neighbor", "counter-bugs"),
+                        help="use a predefined fuzz target instead of a config")
+    fuzz_p.add_argument("--nic", default="cx5",
+                        help="NIC model for --target runs")
+    fuzz_p.add_argument("--iterations", "-n", type=int, default=20)
+    fuzz_p.add_argument("--seed", type=int, default=None)
+    fuzz_p.add_argument("--threshold", type=float, default=3.0)
+    fuzz_p.add_argument("--stop-on-first", action="store_true")
+    fuzz_p.set_defaults(func=cmd_fuzz)
+
+    suite_p = sub.add_parser(
+        "suite", help="run the conformance battery against a NIC model")
+    suite_p.add_argument("nic")
+    suite_p.add_argument("--seed", type=int, default=77)
+    suite_p.add_argument("--checks", nargs="*",
+                         help="subset of checks to run (default: all)")
+    suite_p.set_defaults(func=cmd_suite)
+
+    incast_p = sub.add_parser("incast",
+                              help="run an N-to-1 incast workload")
+    incast_p.add_argument("--senders", type=int, default=4)
+    incast_p.add_argument("--nic", default="cx6")
+    incast_p.add_argument("--messages", type=int, default=8)
+    incast_p.add_argument("--size", type=int, default=256 * 1024)
+    incast_p.add_argument("--ecn-threshold-kb", type=int, default=None)
+    incast_p.add_argument("--queue-kb", type=int, default=None,
+                          help="bottleneck buffer (default: deep)")
+    incast_p.add_argument("--seed", type=int, default=55)
+    incast_p.set_defaults(func=cmd_incast)
+
+    nics_p = sub.add_parser("nics", help="list NIC behaviour profiles")
+    nics_p.set_defaults(func=cmd_nics)
+
+    example_p = sub.add_parser("example-config",
+                               help="print a sample JSON config")
+    example_p.set_defaults(func=cmd_example_config)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

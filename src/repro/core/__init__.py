@@ -1,0 +1,77 @@
+"""Lumina core: configuration, orchestration, tracing and analysis."""
+
+from .config import (
+    ConfigError,
+    DataPacketEvent,
+    DumperPoolConfig,
+    EtsConfig,
+    EtsQueueSpec,
+    HostConfig,
+    PeriodicDropIntent,
+    PeriodicEcnIntent,
+    PeriodicIntent,
+    RoceParameters,
+    SwitchConfig,
+    TestConfig,
+    TrafficConfig,
+)
+from .intent import QpMetadata, expand_periodic_events, translate_events
+from .incast import IncastConfig, IncastResult, jain_fairness, run_incast
+from .orchestrator import Orchestrator, run_test
+from .report import render_report
+from .suite import CheckResult, Scorecard, run_conformance_suite
+from .results import HostCounters, TestResult
+from .testbed import Host, Testbed, build_testbed
+from .trace import (
+    IntegrityReport,
+    PacketTrace,
+    TracePacket,
+    check_integrity,
+    format_trace,
+    reconstruct_trace,
+)
+from .trafficgen import MessageRecord, QpStats, TrafficGenLog, TrafficSession
+
+__all__ = [
+    "ConfigError",
+    "DataPacketEvent",
+    "DumperPoolConfig",
+    "EtsConfig",
+    "EtsQueueSpec",
+    "HostConfig",
+    "PeriodicDropIntent",
+    "PeriodicEcnIntent",
+    "PeriodicIntent",
+    "RoceParameters",
+    "SwitchConfig",
+    "TestConfig",
+    "TrafficConfig",
+    "QpMetadata",
+    "expand_periodic_events",
+    "translate_events",
+    "IncastConfig",
+    "IncastResult",
+    "jain_fairness",
+    "run_incast",
+    "Orchestrator",
+    "run_test",
+    "render_report",
+    "CheckResult",
+    "Scorecard",
+    "run_conformance_suite",
+    "format_trace",
+    "HostCounters",
+    "TestResult",
+    "Host",
+    "Testbed",
+    "build_testbed",
+    "IntegrityReport",
+    "PacketTrace",
+    "TracePacket",
+    "check_integrity",
+    "reconstruct_trace",
+    "MessageRecord",
+    "QpStats",
+    "TrafficGenLog",
+    "TrafficSession",
+]

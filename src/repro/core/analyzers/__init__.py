@@ -1,0 +1,50 @@
+"""Built-in analyzers of the Lumina test suite (§4)."""
+
+from .cnp import (
+    CnpReport,
+    analyze_cnps,
+    infer_rate_limit_scope,
+    min_cnp_interval_ns,
+)
+from .counter_check import (
+    CounterMismatch,
+    CounterReport,
+    check_counters,
+    expected_counters,
+)
+from .gbn_fsm import FsmReport, FsmViolation, ReceiverState, check_gbn_compliance
+from .goodput import MctStats, mct_stats, per_qp_goodput_gbps, split_mct
+from .latency import (
+    LatencySummary,
+    ack_rtt_samples,
+    read_service_samples,
+    stream_rate_bps,
+    summarize,
+)
+from .retrans_perf import RetransmissionEvent, analyze_retransmissions
+
+__all__ = [
+    "CnpReport",
+    "analyze_cnps",
+    "infer_rate_limit_scope",
+    "min_cnp_interval_ns",
+    "CounterMismatch",
+    "CounterReport",
+    "check_counters",
+    "expected_counters",
+    "FsmReport",
+    "FsmViolation",
+    "ReceiverState",
+    "check_gbn_compliance",
+    "LatencySummary",
+    "ack_rtt_samples",
+    "read_service_samples",
+    "stream_rate_bps",
+    "summarize",
+    "MctStats",
+    "mct_stats",
+    "per_qp_goodput_gbps",
+    "split_mct",
+    "RetransmissionEvent",
+    "analyze_retransmissions",
+]

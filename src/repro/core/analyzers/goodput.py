@@ -1,0 +1,88 @@
+"""Application-level performance analyzer: goodput and MCT statistics.
+
+Works on the traffic generator's log (Table 1) — the metrics that back
+the ETS (Fig. 10), noisy-neighbor (Fig. 11) and overhead (Fig. 7)
+experiments. Pure arithmetic over message records; no simulation state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..trafficgen import MessageRecord, TrafficGenLog
+
+__all__ = ["MctStats", "mct_stats", "per_qp_goodput_gbps", "split_mct"]
+
+
+@dataclass
+class MctStats:
+    """Summary statistics over message completion times (ns)."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    min_ns: int
+    max_ns: int
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean_ns / 1e3
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_ns / 1e6
+
+
+def _percentile(sorted_values: Sequence[int], fraction: float) -> float:
+    if not sorted_values:
+        raise ValueError("no values")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def mct_stats(messages: Sequence[MessageRecord]) -> Optional[MctStats]:
+    """Statistics over the completed messages in a record list."""
+    times = sorted(m.completion_time_ns for m in messages
+                   if m.ok and m.completion_time_ns is not None)
+    if not times:
+        return None
+    return MctStats(
+        count=len(times),
+        mean_ns=sum(times) / len(times),
+        p50_ns=_percentile(times, 0.50),
+        p99_ns=_percentile(times, 0.99),
+        min_ns=times[0],
+        max_ns=times[-1],
+    )
+
+
+def per_qp_goodput_gbps(log: TrafficGenLog) -> Dict[int, float]:
+    """Goodput per connection index, in Gbit/s."""
+    out: Dict[int, float] = {}
+    for qp in log.per_qp:
+        bps = qp.goodput_bps()
+        out[qp.qp_index] = (bps or 0.0) / 1e9
+    return out
+
+
+def split_mct(log: TrafficGenLog, qp_indices: Sequence[int]
+              ) -> Dict[str, Optional[MctStats]]:
+    """MCT stats split into a selected group vs everyone else.
+
+    The Fig. 11 noisy-neighbor analysis splits connections into the
+    drop-injected set and the innocent set and compares their MCTs.
+    """
+    selected = set(qp_indices)
+    inside: List[MessageRecord] = []
+    outside: List[MessageRecord] = []
+    for qp in log.per_qp:
+        bucket = inside if qp.qp_index in selected else outside
+        bucket.extend(qp.messages)
+    return {"selected": mct_stats(inside), "others": mct_stats(outside)}

@@ -1,0 +1,365 @@
+"""Test configuration: the user-facing schema of Listings 1 and 2.
+
+A test is described by three blocks — requester host, responder host
+and traffic — plus optional switch / dumper-pool tuning. Configurations
+are plain dataclasses constructible from nested dicts (the shape of the
+paper's YAML files), and every field is validated on construction so a
+bad config fails before the testbed is built.
+
+Event descriptions are *intents*: relative QPN (1-based connection
+index), relative PSN (1-based packet index within the connection's data
+stream) and an iteration number for targeting retransmissions (§3.3).
+Translation to absolute header values happens in
+:mod:`repro.core.intent` once runtime metadata exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..rdma.profiles import PROFILES
+from ..rdma.verbs import Verb
+from ..switch.events import EventAction
+
+__all__ = [
+    "RoceParameters",
+    "HostConfig",
+    "DataPacketEvent",
+    "PeriodicIntent",
+    "PeriodicEcnIntent",
+    "PeriodicDropIntent",
+    "EtsQueueSpec",
+    "EtsConfig",
+    "TrafficConfig",
+    "DumperPoolConfig",
+    "SwitchConfig",
+    "TestConfig",
+    "ConfigError",
+]
+
+
+class ConfigError(ValueError):
+    """Raised when a test configuration is invalid."""
+
+
+@dataclass(frozen=True)
+class RoceParameters:
+    """Network-stack settings applied to a host before traffic (Listing 1)."""
+
+    dcqcn_rp_enable: bool = True
+    dcqcn_np_enable: bool = True
+    #: Minimum interval between generated CNPs, µs (NVIDIA knob; §6.3).
+    min_time_between_cnps_us: int = 4
+    adaptive_retrans: bool = False
+    slow_restart: bool = True
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RoceParameters":
+        return cls(
+            dcqcn_rp_enable=bool(data.get("dcqcn-rp-enable", True)),
+            dcqcn_np_enable=bool(data.get("dcqcn-np-enable", True)),
+            min_time_between_cnps_us=int(data.get("min-time-between-cnps", 4)),
+            adaptive_retrans=bool(data.get("adaptive-retrans", False)),
+            slow_restart=bool(data.get("slow-restart", True)),
+        )
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """One traffic-generation host (Listing 1)."""
+
+    nic_type: str
+    ip_list: Sequence[str] = ("10.0.0.1/24",)
+    bandwidth_gbps: Optional[float] = None
+    roce: RoceParameters = field(default_factory=RoceParameters)
+
+    def __post_init__(self) -> None:
+        if self.nic_type.lower() not in PROFILES:
+            raise ConfigError(
+                f"unknown nic type {self.nic_type!r}; known: {sorted(PROFILES)}"
+            )
+        if not self.ip_list:
+            raise ConfigError("host needs at least one IP")
+        if self.bandwidth_gbps is not None and self.bandwidth_gbps <= 0:
+            raise ConfigError("bandwidth must be positive")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "HostConfig":
+        nic = data.get("nic", data)
+        return cls(
+            nic_type=nic["type"],
+            ip_list=tuple(nic.get("ip-list", ("10.0.0.1/24",))),
+            bandwidth_gbps=nic.get("bandwidth-gbps"),
+            roce=RoceParameters.from_dict(data.get("roce-parameters", {})),
+        )
+
+
+@dataclass(frozen=True)
+class DataPacketEvent:
+    """One deterministic injection intent (Listing 2's data-pkt-events).
+
+    ``delay`` and ``reorder`` are the §7 extension events; ``delay``
+    additionally takes ``delay-us``, the hold time in microseconds.
+    """
+
+    qpn: int          # relative connection index, 1-based
+    psn: int          # relative packet index within the stream, 1-based
+    type: str         # drop | ecn | corrupt | delay | reorder
+    #: (re)transmission round, 1-based (Fig. 3). 0 is an extension:
+    #: "whichever round the packet first appears in" — the event then
+    #: fires exactly once (loss-rate emulation semantics).
+    iter: int = 1
+    delay_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.qpn < 1:
+            raise ConfigError("relative QPN is 1-based")
+        if self.psn < 1:
+            raise ConfigError("relative PSN is 1-based")
+        if self.iter < 0:
+            raise ConfigError("iter is 1-based (0 = any-round wildcard)")
+        if self.type not in EventAction.ALL:
+            raise ConfigError(
+                f"unknown event type {self.type!r}; known: {EventAction.ALL}"
+            )
+        if self.type == "delay" and self.delay_us <= 0:
+            raise ConfigError("delay events need a positive delay-us")
+        if self.type != "delay" and self.delay_us:
+            raise ConfigError("delay-us only applies to delay events")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DataPacketEvent":
+        return cls(qpn=int(data["qpn"]), psn=int(data["psn"]),
+                   type=str(data["type"]), iter=int(data.get("iter", 1)),
+                   delay_us=float(data.get("delay-us", 0.0)))
+
+
+@dataclass(frozen=True)
+class PeriodicIntent:
+    """Apply an event to every ``period``-th data packet of a connection.
+
+    Deterministic periodic events are how Lumina emulates a fixed
+    "loss/marking rate" while staying reproducible (§3.3 rejects
+    "randomly drop 10%"-style descriptions): a 1% loss rate becomes
+    "drop every 100th packet". The §6.2.1 ETS experiments use the ECN
+    flavour ("mark one out of every 50 packets of QP0").
+    """
+
+    qpn: int
+    period: int
+    start: int = 1
+    type: str = "ecn"
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ConfigError("period must be >= 1")
+        if self.qpn < 1 or self.start < 1:
+            raise ConfigError("relative QPN/PSN are 1-based")
+        if self.type not in ("ecn", "drop", "corrupt"):
+            raise ConfigError(f"unsupported periodic event type {self.type!r}")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PeriodicIntent":
+        return cls(qpn=int(data["qpn"]), period=int(data["period"]),
+                   start=int(data.get("start", 1)),
+                   type=str(data.get("type", "ecn")))
+
+
+def PeriodicEcnIntent(qpn: int, period: int, start: int = 1) -> PeriodicIntent:
+    """ECN-flavoured periodic intent (the common case, kept as an alias)."""
+    return PeriodicIntent(qpn=qpn, period=period, start=start, type="ecn")
+
+
+def PeriodicDropIntent(qpn: int, period: int, start: int = 1) -> PeriodicIntent:
+    """Drop-flavoured periodic intent: deterministic loss-rate emulation."""
+    return PeriodicIntent(qpn=qpn, period=period, start=start, type="drop")
+
+
+@dataclass(frozen=True)
+class EtsQueueSpec:
+    """One ETS traffic class: weight share in percent, or strict priority."""
+
+    index: int
+    weight_percent: float = 0.0
+    strict_priority: bool = False
+
+
+@dataclass(frozen=True)
+class EtsConfig:
+    """ETS queue layout plus the QP → queue mapping (requester side)."""
+
+    queues: Sequence[EtsQueueSpec] = ()
+    #: relative QPN (1-based) -> queue index.
+    qp_to_queue: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """The traffic block (Listing 2)."""
+
+    num_connections: int = 1
+    rdma_verb: str = "write"
+    num_msgs_per_qp: int = 10
+    mtu: int = 1024
+    message_size: int = 10240
+    multi_gid: bool = False
+    barrier_sync: bool = True
+    tx_depth: int = 1
+    min_retransmit_timeout: int = 14   # exponent: RTO = 4.096 µs * 2^x
+    max_retransmit_retry: int = 7
+    data_pkt_events: Sequence[DataPacketEvent] = ()
+    periodic_events: Sequence[PeriodicIntent] = ()
+    ets: Optional[EtsConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.num_connections < 1:
+            raise ConfigError("need at least one connection")
+        if self.num_msgs_per_qp < 1:
+            raise ConfigError("need at least one message per QP")
+        if self.mtu < 256 or self.mtu > 4096:
+            raise ConfigError("RDMA MTU must be within [256, 4096]")
+        if self.message_size < 1:
+            raise ConfigError("message size must be positive")
+        if self.tx_depth < 1:
+            raise ConfigError("tx depth must be >= 1")
+        if not 0 <= self.min_retransmit_timeout <= 31:
+            raise ConfigError("timeout exponent must be in [0, 31]")
+        if not 0 <= self.max_retransmit_retry <= 15:
+            raise ConfigError("retry count must be in [0, 15]")
+        try:
+            verbs = self.verbs
+        except ValueError as exc:
+            raise ConfigError(f"unknown verb in {self.rdma_verb!r}") from exc
+        if not verbs:
+            raise ConfigError("rdma-verb must name at least one verb")
+        total = self.packets_per_connection
+        for event in self.data_pkt_events:
+            if event.psn > total:
+                raise ConfigError(
+                    f"event targets packet {event.psn} but each connection "
+                    f"only carries {total} data packets"
+                )
+
+    @property
+    def verbs(self) -> List[Verb]:
+        """Verb sequence; combos like ``"send,read"`` alternate (§3.2)."""
+        return [Verb(v.strip().lower()) for v in self.rdma_verb.split(",") if v.strip()]
+
+    @property
+    def packets_per_message(self) -> int:
+        return max(1, (self.message_size + self.mtu - 1) // self.mtu)
+
+    @property
+    def packets_per_connection(self) -> int:
+        """Data packets one connection carries in iteration 1."""
+        return self.packets_per_message * self.num_msgs_per_qp
+
+    def with_events(self, events: Sequence[DataPacketEvent]) -> "TrafficConfig":
+        return replace(self, data_pkt_events=tuple(events))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TrafficConfig":
+        ets = None
+        if "ets" in data:
+            raw = data["ets"]
+            ets = EtsConfig(
+                queues=tuple(
+                    EtsQueueSpec(index=int(q["index"]),
+                                 weight_percent=float(q.get("weight", 0.0)),
+                                 strict_priority=bool(q.get("strict", False)))
+                    for q in raw.get("queues", ())
+                ),
+                qp_to_queue={int(k): int(v)
+                             for k, v in raw.get("qp-to-queue", {}).items()},
+            )
+        return cls(
+            num_connections=int(data.get("num-connections", 1)),
+            rdma_verb=str(data.get("rdma-verb", "write")),
+            num_msgs_per_qp=int(data.get("num-msgs-per-qp", 10)),
+            mtu=int(data.get("mtu", 1024)),
+            message_size=int(data.get("message-size", 10240)),
+            multi_gid=bool(data.get("multi-gid", False)),
+            barrier_sync=bool(data.get("barrier-sync", True)),
+            tx_depth=int(data.get("tx-depth", 1)),
+            min_retransmit_timeout=int(data.get("min-retransmit-timeout", 14)),
+            max_retransmit_retry=int(data.get("max-retransmit-retry", 7)),
+            data_pkt_events=tuple(
+                DataPacketEvent.from_dict(e) for e in data.get("data-pkt-events", ())
+            ),
+            periodic_events=tuple(
+                PeriodicIntent.from_dict(e) for e in data.get("periodic-events", ())
+            ),
+            ets=ets,
+        )
+
+
+@dataclass(frozen=True)
+class DumperPoolConfig:
+    """Shape of the traffic dumper pool."""
+
+    num_servers: int = 2
+    cores_per_server: int = 8
+    core_service_ns: int = 170
+    ring_slots: int = 1024
+    bandwidth_gbps: Optional[float] = None  # None: match host bandwidth
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 0:
+            raise ConfigError("dumper pool size cannot be negative")
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Event injector feature flags (Fig. 7's Lumina variants)."""
+
+    event_injection: bool = True
+    mirroring: bool = True
+    randomize_mirror_udp_port: bool = True
+    link_delay_ns: int = 500
+    #: RED-style organic ECN marking above this egress-queue depth (KB);
+    #: None leaves only injected (deterministic) marks, as in the paper.
+    ecn_threshold_kb: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TestConfig:
+    """A complete Lumina test: everything the orchestrator needs."""
+
+    # Not a pytest class, despite the name.
+    __test__ = False
+
+    requester: HostConfig
+    responder: HostConfig
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+    dumpers: DumperPoolConfig = field(default_factory=DumperPoolConfig)
+    switch: SwitchConfig = field(default_factory=SwitchConfig)
+    seed: int = 1
+    #: Hard cap on simulated time, ns (guards against wedged QPs).
+    max_duration_ns: int = 20_000_000_000
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TestConfig":
+        dumpers = data.get("dumpers", {})
+        switch = data.get("switch", {})
+        return cls(
+            requester=HostConfig.from_dict(data["requester"]),
+            responder=HostConfig.from_dict(data["responder"]),
+            traffic=TrafficConfig.from_dict(data.get("traffic", {})),
+            dumpers=DumperPoolConfig(
+                num_servers=int(dumpers.get("num-servers", 2)),
+                cores_per_server=int(dumpers.get("cores-per-server", 8)),
+                core_service_ns=int(dumpers.get("core-service-ns", 170)),
+                ring_slots=int(dumpers.get("ring-slots", 1024)),
+                bandwidth_gbps=dumpers.get("bandwidth-gbps"),
+            ),
+            switch=SwitchConfig(
+                event_injection=bool(switch.get("event-injection", True)),
+                mirroring=bool(switch.get("mirroring", True)),
+                randomize_mirror_udp_port=bool(switch.get("randomize-udp-port", True)),
+                link_delay_ns=int(switch.get("link-delay-ns", 500)),
+                ecn_threshold_kb=switch.get("ecn-threshold-kb"),
+            ),
+            seed=int(data.get("seed", 1)),
+            max_duration_ns=int(data.get("max-duration-ns", 20_000_000_000)),
+        )

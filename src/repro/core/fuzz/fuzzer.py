@@ -1,0 +1,129 @@
+"""Genetic test-case generation (Algorithm 1).
+
+The fuzzer maintains a pool Γ of traffic configurations. Each round it
+picks a random member, mutates it, runs Lumina with the mutated config,
+scores the results, and keeps high-scoring configs (score ≥ pool
+median) — low-scoring ones survive only with probability *p*. The loop
+stops when an anomaly crosses the threshold or the iteration budget is
+exhausted (``stop_on_first`` controls whether the first finding ends
+the search, as in the paper's pseudocode).
+
+Everything is deterministic given the fuzzer seed: per-iteration run
+seeds derive from it, so any finding replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from statistics import median
+from typing import Callable, List, Optional
+
+from ...sim.rng import SimRandom
+from ..config import TestConfig, TrafficConfig
+from ..orchestrator import run_test
+from ..results import TestResult
+from .mutate import mutate
+from .score import Score, ScoreWeights, score_result
+
+__all__ = ["FuzzFinding", "FuzzReport", "LuminaFuzzer"]
+
+
+@dataclass
+class FuzzFinding:
+    """One anomalous configuration discovered by the fuzzer."""
+
+    iteration: int
+    config: TestConfig
+    score: Score
+
+    def summary(self) -> str:
+        t = self.config.traffic
+        return (f"iter {self.iteration}: score={self.score.total:.1f} "
+                f"verb={t.rdma_verb} conns={t.num_connections} "
+                f"events={len(t.data_pkt_events)} -> "
+                + "; ".join(self.score.anomalies[:2]))
+
+
+@dataclass
+class FuzzReport:
+    iterations_run: int = 0
+    invalid_runs: int = 0
+    findings: List[FuzzFinding] = field(default_factory=list)
+    pool_scores: List[float] = field(default_factory=list)
+
+    @property
+    def found_anomaly(self) -> bool:
+        return bool(self.findings)
+
+    @property
+    def best(self) -> Optional[FuzzFinding]:
+        if not self.findings:
+            return None
+        return max(self.findings, key=lambda f: f.score.total)
+
+
+class LuminaFuzzer:
+    """Algorithm 1: genetic-based fuzzing over traffic configurations."""
+
+    def __init__(self, base_config: TestConfig, seed: int = 1,
+                 weights: ScoreWeights = ScoreWeights(),
+                 keep_probability: float = 0.25,
+                 anomaly_threshold: float = 3.0,
+                 initial_pool: Optional[List[TrafficConfig]] = None,
+                 run_fn: Callable[[TestConfig], TestResult] = run_test):
+        self.base_config = base_config
+        self.rng = SimRandom(seed, "fuzzer")
+        self.weights = weights
+        self.keep_probability = keep_probability
+        self.anomaly_threshold = anomaly_threshold
+        self._run = run_fn
+        # Step 1: initialise the candidate pool with valid configs.
+        self.pool: List[TrafficConfig] = list(initial_pool or [])
+        if not self.pool:
+            self.pool = self._default_pool()
+        self._pool_scores: List[float] = [0.0] * len(self.pool)
+        self._next_seed = seed * 1_000_003 + 7
+
+    def _default_pool(self) -> List[TrafficConfig]:
+        base = self.base_config.traffic
+        pool = [base]
+        for _ in range(3):
+            pool.append(mutate(base, self.rng, rounds=2))
+        return pool
+
+    def _config_for(self, traffic: TrafficConfig) -> TestConfig:
+        self._next_seed += 1
+        return replace(self.base_config, traffic=traffic, seed=self._next_seed)
+
+    def run(self, iterations: int = 20, stop_on_first: bool = False) -> FuzzReport:
+        """Run the fuzzing loop for at most ``iterations`` rounds."""
+        report = FuzzReport()
+        for iteration in range(1, iterations + 1):
+            report.iterations_run = iteration
+            # Step 2: pick + mutate.
+            gamma = self.rng.choice(self.pool)
+            candidate = mutate(gamma, self.rng,
+                               rounds=self.rng.choice([1, 1, 2]))
+            # Run Lumina with the mutated configuration.
+            result = self._run(self._config_for(candidate))
+            # Step 3: score.
+            score = score_result(result, self.weights)
+            if not score.valid:
+                report.invalid_runs += 1
+                continue
+            # Step 4: selection against the pool median.
+            current_median = median(self._pool_scores) if self._pool_scores else 0.0
+            if score.total >= current_median or \
+                    self.rng.random() < self.keep_probability:
+                self.pool.append(candidate)
+                self._pool_scores.append(score.total)
+            report.pool_scores.append(score.total)
+            if score.total >= self.anomaly_threshold:
+                report.findings.append(FuzzFinding(
+                    iteration=iteration,
+                    config=self._config_for(candidate),
+                    score=score,
+                ))
+                if stop_on_first:
+                    break
+        return report

@@ -1,0 +1,135 @@
+"""Mutation operators for fuzzing (Algorithm 1, step 2).
+
+Each mutator takes a :class:`TrafficConfig` and a random source and
+returns a *valid* new config: basic-traffic mutations adjust the number
+of QPs, verb, message geometry and depth; event mutations add, remove
+or retarget injected drops/ECN marks. Events are re-clamped after every
+traffic mutation so they always reference packets that exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Sequence
+
+from ...sim.rng import SimRandom
+from ..config import DataPacketEvent, TrafficConfig
+
+__all__ = ["MUTATORS", "mutate", "clamp_events"]
+
+_MESSAGE_SIZES = (1024, 4096, 10240, 20480, 102400)
+_VERBS = ("write", "send", "read")
+
+
+def clamp_events(traffic: TrafficConfig) -> TrafficConfig:
+    """Drop events that no longer reference an existing packet/QP."""
+    total = traffic.packets_per_connection
+    kept = tuple(
+        e for e in traffic.data_pkt_events
+        if e.psn <= total and e.qpn <= traffic.num_connections
+    )
+    if len(kept) == len(traffic.data_pkt_events):
+        return traffic
+    return replace(traffic, data_pkt_events=kept)
+
+
+def _replace_geometry(t: TrafficConfig, **kwargs) -> TrafficConfig:
+    """Change traffic geometry, re-clamping events afterwards.
+
+    Events are stripped before the change because the dataclass
+    validates event bounds on construction: shrinking the stream with
+    stale events attached would raise before clamping could run.
+    """
+    changed = replace(t, data_pkt_events=(), **kwargs)
+    total = changed.packets_per_connection
+    kept = tuple(e for e in t.data_pkt_events
+                 if e.psn <= total and e.qpn <= changed.num_connections)
+    return replace(changed, data_pkt_events=kept)
+
+
+def _mutate_num_connections(t: TrafficConfig, rng: SimRandom) -> TrafficConfig:
+    delta = rng.choice([-8, -4, -1, 1, 4, 8])
+    return _replace_geometry(
+        t, num_connections=max(1, min(64, t.num_connections + delta)))
+
+
+def _mutate_verb(t: TrafficConfig, rng: SimRandom) -> TrafficConfig:
+    return replace(t, rdma_verb=rng.choice(_VERBS))
+
+
+def _mutate_message_size(t: TrafficConfig, rng: SimRandom) -> TrafficConfig:
+    return _replace_geometry(t, message_size=rng.choice(_MESSAGE_SIZES))
+
+
+def _mutate_num_msgs(t: TrafficConfig, rng: SimRandom) -> TrafficConfig:
+    delta = rng.choice([-5, -2, 2, 5])
+    return _replace_geometry(
+        t, num_msgs_per_qp=max(1, min(50, t.num_msgs_per_qp + delta)))
+
+
+def _mutate_tx_depth(t: TrafficConfig, rng: SimRandom) -> TrafficConfig:
+    return replace(t, tx_depth=rng.choice([1, 2, 4]))
+
+
+def _mutate_barrier(t: TrafficConfig, rng: SimRandom) -> TrafficConfig:
+    return replace(t, barrier_sync=not t.barrier_sync)
+
+
+def _add_event(t: TrafficConfig, rng: SimRandom) -> TrafficConfig:
+    event = DataPacketEvent(
+        qpn=rng.randint(1, t.num_connections),
+        psn=rng.randint(1, t.packets_per_connection),
+        type=rng.choice(["drop", "ecn", "corrupt"]),
+        iter=rng.choice([1, 1, 1, 2]),
+    )
+    existing = set((e.qpn, e.psn, e.iter) for e in t.data_pkt_events)
+    if (event.qpn, event.psn, event.iter) in existing:
+        return t
+    return replace(t, data_pkt_events=tuple(t.data_pkt_events) + (event,))
+
+
+def _remove_event(t: TrafficConfig, rng: SimRandom) -> TrafficConfig:
+    if not t.data_pkt_events:
+        return t
+    victim = rng.randint(0, len(t.data_pkt_events) - 1)
+    kept = tuple(e for i, e in enumerate(t.data_pkt_events) if i != victim)
+    return replace(t, data_pkt_events=kept)
+
+
+def _spread_drops(t: TrafficConfig, rng: SimRandom) -> TrafficConfig:
+    """Inject the same drop across the first K connections.
+
+    This is the mutation that finds noisy-neighbor behaviour: many
+    connections losing a packet *simultaneously* (§6.2.2).
+    """
+    if t.num_connections < 2:
+        return t
+    k = rng.randint(2, t.num_connections)
+    psn = rng.randint(1, t.packets_per_connection)
+    events = tuple(DataPacketEvent(qpn=i + 1, psn=psn, type="drop")
+                   for i in range(k))
+    return replace(t, data_pkt_events=events)
+
+
+MUTATORS: Sequence[Callable[[TrafficConfig, SimRandom], TrafficConfig]] = (
+    _mutate_num_connections,
+    _mutate_verb,
+    _mutate_message_size,
+    _mutate_num_msgs,
+    _mutate_tx_depth,
+    _mutate_barrier,
+    _add_event,
+    _add_event,          # weighted: event mutations drive discovery
+    _remove_event,
+    _spread_drops,
+)
+
+
+def mutate(traffic: TrafficConfig, rng: SimRandom,
+           rounds: int = 1) -> TrafficConfig:
+    """Apply ``rounds`` random mutation operators."""
+    result = traffic
+    for _ in range(max(1, rounds)):
+        mutator = rng.choice(MUTATORS)
+        result = mutator(result, rng)
+    return clamp_events(result)

@@ -1,0 +1,125 @@
+"""Scoring for fuzzing (Algorithm 1, step 3).
+
+The score is the multi-objective function Score = Σᵢ wᵢ·s(i) where each
+s(i) models one anomaly signal extracted from a finished test:
+
+* counter inconsistencies found by the counter analyzer,
+* Go-back-N FSM violations,
+* message-completion-time inflation versus an analytic lower bound,
+* *innocent-flow* MCT inflation (connections with no injected events
+  suffering anyway — the noisy-neighbor signature),
+* unexplained host-side packet discards,
+* aborted QPs (retry exhaustion).
+
+Tests that fail the integrity check are invalid rather than anomalous —
+they are scored zero and flagged so the fuzzer does not chase dumping
+artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import log10
+from typing import Dict, List
+
+from ..analyzers.counter_check import check_counters
+from ..analyzers.gbn_fsm import check_gbn_compliance
+from ..results import TestResult
+
+__all__ = ["ScoreWeights", "Score", "score_result"]
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    counter_inconsistency: float = 3.0
+    fsm_violation: float = 4.0
+    mct_inflation: float = 1.0
+    innocent_inflation: float = 5.0
+    unexplained_discards: float = 2.0
+    aborted_qp: float = 4.0
+
+
+@dataclass
+class Score:
+    total: float = 0.0
+    valid: bool = True
+    components: Dict[str, float] = field(default_factory=dict)
+    anomalies: List[str] = field(default_factory=list)
+
+    def add(self, name: str, value: float, detail: str = "") -> None:
+        if value <= 0:
+            return
+        self.components[name] = self.components.get(name, 0.0) + value
+        self.total += value
+        if detail:
+            self.anomalies.append(detail)
+
+
+def _ideal_mct_ns(result: TestResult) -> float:
+    """Analytic lower bound on one message's completion time."""
+    traffic = result.config.traffic
+    # Serialisation at 100 Gbps order of magnitude + a couple of RTTs.
+    line_rate = 100e9
+    serialisation = traffic.message_size * 8 / line_rate * 1e9
+    rtt = 4 * result.config.switch.link_delay_ns + 4_000
+    return serialisation + 3 * rtt
+
+
+def score_result(result: TestResult,
+                 weights: ScoreWeights = ScoreWeights()) -> Score:
+    """Score one finished test for anomaly signals."""
+    score = Score()
+    if not result.integrity.ok:
+        score.valid = False
+        score.anomalies.append("invalid test: integrity check failed "
+                               f"({result.integrity.summary()})")
+        return score
+
+    counter_report = check_counters(result)
+    if counter_report.mismatches:
+        score.add("counter_inconsistency",
+                  weights.counter_inconsistency * len(counter_report.mismatches),
+                  f"{len(counter_report.mismatches)} counter mismatch(es): "
+                  + "; ".join(str(m) for m in counter_report.mismatches[:3]))
+
+    fsm = check_gbn_compliance(result.trace, mtu=result.config.traffic.mtu)
+    if fsm.violations:
+        score.add("fsm_violation",
+                  weights.fsm_violation * len(fsm.violations),
+                  f"{len(fsm.violations)} Go-back-N violation(s)")
+
+    ideal = max(1.0, _ideal_mct_ns(result))
+    injected = {e.qpn for e in result.config.traffic.data_pkt_events}
+    worst_innocent = 0.0
+    worst_any = 0.0
+    for qp in result.traffic_log.per_qp:
+        worst = qp.max_mct_ns
+        if worst is None:
+            continue
+        ratio = worst / ideal
+        worst_any = max(worst_any, ratio)
+        if qp.qp_index not in injected:
+            worst_innocent = max(worst_innocent, ratio)
+    if worst_any > 10:
+        score.add("mct_inflation", weights.mct_inflation * log10(worst_any),
+                  f"worst MCT {worst_any:.0f}x the analytic bound")
+    if worst_innocent > 10:
+        score.add("innocent_inflation",
+                  weights.innocent_inflation * log10(worst_innocent),
+                  f"innocent connection MCT {worst_innocent:.0f}x the bound")
+
+    expected_drops = int(result.switch_counters.get("dropped_by_event", 0))
+    host_discards = (result.requester_counters["rx_discards_phy"]
+                     + result.responder_counters["rx_discards_phy"])
+    unexplained = host_discards  # injector drops never reach the hosts
+    if unexplained > 0:
+        score.add("unexplained_discards",
+                  weights.unexplained_discards * log10(1 + unexplained),
+                  f"{unexplained} packets discarded at the hosts "
+                  f"({expected_drops} injected drops never arrive)")
+
+    if result.traffic_log.aborted_qps:
+        score.add("aborted_qp",
+                  weights.aborted_qp * result.traffic_log.aborted_qps,
+                  f"{result.traffic_log.aborted_qps} QP(s) exhausted retries")
+    return score

@@ -1,0 +1,111 @@
+"""Intent translation: relative events → match-action entries (Fig. 2).
+
+The traffic generators share runtime metadata (QPNs and initial PSNs
+are random per run) over the control plane; this module combines that
+metadata with the user's intent-level events to compute the exact
+table entries the event injector installs. This is the *stateless*
+design the paper argues for: the switch never has to learn QPs in the
+data plane.
+
+Key facts the translation relies on:
+
+* Data packets for Send/Write flow requester → responder and carry
+  ``dstQPN = responder QPN``; their PSNs start at the **requester's**
+  initial PSN (Fig. 2: IPSN 1001, 4th packet ⇒ PSN 1004).
+* For Read, data packets are the *responses*, flowing responder →
+  requester with ``dstQPN = requester QPN`` — but response PSNs also
+  live in the requester's PSN space (IB read responses reuse the
+  request's PSN range), so the same relative-PSN arithmetic applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..rdma.verbs import Verb
+from ..switch.events import EventEntry
+from .config import ConfigError, DataPacketEvent, PeriodicIntent, TrafficConfig
+
+__all__ = ["QpMetadata", "translate_events", "expand_periodic_events"]
+
+_PSN_MASK = 0xFFFFFF
+
+
+@dataclass(frozen=True)
+class QpMetadata:
+    """Runtime metadata for one QP connection, as exchanged in §3.2."""
+
+    index: int  # 1-based relative connection number
+    requester_ip: int
+    requester_qpn: int
+    requester_ipsn: int
+    responder_ip: int
+    responder_qpn: int
+    responder_ipsn: int
+    verb: Verb
+
+    def data_direction(self) -> tuple:
+        """(src_ip, dst_ip, dst_qpn) of the *data* packet stream (§3.3)."""
+        if self.verb.data_from_responder:
+            return (self.responder_ip, self.requester_ip, self.requester_qpn)
+        return (self.requester_ip, self.responder_ip, self.responder_qpn)
+
+    def absolute_data_psn(self, relative_psn: int) -> int:
+        """Absolute PSN of the ``relative_psn``-th data packet (1-based)."""
+        if relative_psn < 1:
+            raise ValueError("relative PSN is 1-based")
+        return (self.requester_ipsn + relative_psn - 1) & _PSN_MASK
+
+
+def translate_events(metadata: Sequence[QpMetadata],
+                     events: Sequence[DataPacketEvent]) -> List[EventEntry]:
+    """Compute the low-level event-table entries for the user's intents."""
+    by_index = {meta.index: meta for meta in metadata}
+    entries: List[EventEntry] = []
+    for event in events:
+        meta = by_index.get(event.qpn)
+        if meta is None:
+            raise ConfigError(
+                f"event targets connection {event.qpn} but only "
+                f"{len(metadata)} connections exist"
+            )
+        src_ip, dst_ip, dst_qpn = meta.data_direction()
+        entries.append(EventEntry(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            dst_qpn=dst_qpn,
+            psn=meta.absolute_data_psn(event.psn),
+            iteration=event.iter,
+            action=event.type,
+            delay_ns=int(event.delay_us * 1_000),
+            # Any-round events fire once: "the first time this PSN
+            # passes", whichever retransmission round that happens in.
+            max_hits=1 if event.iter == 0 else 0,
+        ))
+    return entries
+
+
+def expand_periodic_events(traffic: TrafficConfig,
+                        intents: Sequence[PeriodicIntent]) -> List[DataPacketEvent]:
+    """Expand "mark every Nth packet" intents into individual events.
+
+    Expansion happens against the first-transmission stream (iter 1):
+    the §6.2.1 experiments mark one in every 50 packets of QP0 to make
+    DCQCN throttle that QP.
+    """
+    events: List[DataPacketEvent] = []
+    total = traffic.packets_per_connection
+    for intent in intents:
+        psn = intent.start
+        while psn <= total:
+            events.append(DataPacketEvent(
+                qpn=intent.qpn, psn=psn, type=intent.type,
+                # Loss/corruption rates use the any-round wildcard so a
+                # pattern like "drop every 100th packet" keeps firing
+                # even after earlier losses push the stream into higher
+                # ITER rounds; ECN marking targets first transmissions,
+                # matching the Fig. 10 experiments.
+                iter=0 if intent.type in ("drop", "corrupt") else 1))
+            psn += intent.period
+    return events

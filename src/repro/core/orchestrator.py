@@ -1,0 +1,109 @@
+"""The orchestrator: runs one complete Lumina test end to end (Fig. 1).
+
+Sequence, matching §3:
+
+1. Build the testbed from the config and apply host network settings.
+2. Create QPs, exchange metadata, translate user intents into event
+   table entries and install them on the switch **before** traffic
+   starts (the stateless design of §3.3).
+3. Run the traffic generators to completion (with a hard simulated-time
+   cap to survive wedged QPs).
+4. TERM the dumpers, collect all results (Table 1), reconstruct the
+   packet trace and run the integrity check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..switch.events import RewriteRule
+from .config import TestConfig
+from .intent import expand_periodic_events, translate_events
+from .results import HostCounters, TestResult
+from .testbed import Host, Testbed, build_testbed
+from .trace import check_integrity, reconstruct_trace
+from .trafficgen import TrafficSession
+
+__all__ = ["Orchestrator", "run_test"]
+
+
+class Orchestrator:
+    """Coordinates all components for a single test run."""
+
+    def __init__(self, config: TestConfig,
+                 rewrite_rules: Optional[List[RewriteRule]] = None):
+        self.config = config
+        self.testbed: Testbed = build_testbed(config)
+        self.session = TrafficSession(self.testbed, config.traffic)
+        self._extra_rewrites = list(rewrite_rules or [])
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Connect QPs and populate the event injector's tables."""
+        self.session.connect_all()
+        self.session.configure_ets()
+        events = list(self.config.traffic.data_pkt_events)
+        events.extend(expand_periodic_events(self.config.traffic,
+                                          self.config.traffic.periodic_events))
+        entries = translate_events(self.session.metadata, events)
+        self.testbed.switch_controller.install_events(entries)
+        for rule in self._extra_rewrites:
+            self.testbed.switch_controller.install_rewrite(rule)
+
+    def run(self) -> TestResult:
+        """Execute the test and return the collected results."""
+        self.setup()
+        sim = self.testbed.sim
+        process = self.session.start()
+        sim.run(until=self.config.max_duration_ns)
+        # Drain: let in-flight control packets, mirrors and dumper rings
+        # settle before TERM. The queue is usually empty already unless
+        # the duration cap fired mid-transfer.
+        sim.run_for(2_000_000)
+        records = self.testbed.dumpers.terminate_all()
+        trace = reconstruct_trace(records)
+        switch_counters = self.testbed.switch_controller.dump_counters()
+        integrity = check_integrity(trace, switch_counters)
+        if not self.session.log.finished_at:
+            # Duration cap hit: close the log so metrics stay meaningful.
+            self.session.log.finished_at = sim.now
+            self.session.log.aborted_qps = sum(
+                1 for qp in self.session.requester_qps
+                if qp.state.value == "error"
+            )
+        del process
+        # sim.now sits at the duration cap (run() advances the clock);
+        # the meaningful duration is when traffic actually finished.
+        duration = self.session.log.finished_at or sim.now
+        return TestResult(
+            config=self.config,
+            metadata=self.session.metadata,
+            trace=trace,
+            integrity=integrity,
+            requester_counters=self._host_counters(self.testbed.requester,
+                                                   self.config.requester.nic_type),
+            responder_counters=self._host_counters(self.testbed.responder,
+                                                   self.config.responder.nic_type),
+            traffic_log=self.session.log,
+            switch_counters=switch_counters,
+            duration_ns=duration,
+            dumper_discards=self.testbed.dumpers.total_discards,
+        )
+
+    @staticmethod
+    def _host_counters(host: Host, nic_type: str) -> HostCounters:
+        counters = host.nic.counters
+        return HostCounters(
+            host=host.name,
+            nic_type=nic_type,
+            canonical=counters.snapshot(),
+            vendor=counters.vendor_snapshot(),
+            suppressed={name: counters.suppressed(name)
+                        for name in counters.stuck_counters},
+        )
+
+
+def run_test(config: TestConfig,
+             rewrite_rules: Optional[List[RewriteRule]] = None) -> TestResult:
+    """Convenience one-shot: build, run and collect a test."""
+    return Orchestrator(config, rewrite_rules=rewrite_rules).run()

@@ -1,0 +1,119 @@
+"""Human-readable test reports.
+
+Renders everything a single Lumina run produced — integrity verdict,
+traffic metrics, analyzer outcomes and interesting counters — as plain
+text, the way an operator would want to read it after a testbed run.
+Used by the CLI (``python -m repro run``) and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..net.addressing import int_to_ip
+from .analyzers.cnp import analyze_cnps
+from .analyzers.counter_check import check_counters
+from .analyzers.gbn_fsm import check_gbn_compliance
+from .analyzers.goodput import mct_stats
+from .analyzers.retrans_perf import analyze_retransmissions
+from .results import TestResult
+
+__all__ = ["render_report"]
+
+_INTERESTING_COUNTERS = (
+    "packet_seq_err", "out_of_sequence", "implied_nak_seq_err",
+    "local_ack_timeout_err", "retransmitted_packets", "rx_icrc_errors",
+    "rx_discards_phy", "cnp_sent", "cnp_handled", "nak_sent",
+    "rnr_nak_sent", "qp_retry_exceeded",
+)
+
+
+def _section(title: str) -> List[str]:
+    return ["", title, "-" * len(title)]
+
+
+def render_report(result: TestResult) -> str:
+    """Render one result as a multi-section plain-text report."""
+    traffic = result.config.traffic
+    lines: List[str] = [
+        "Lumina test report",
+        "==================",
+        f"verb={traffic.rdma_verb} connections={traffic.num_connections} "
+        f"msgs/qp={traffic.num_msgs_per_qp} size={traffic.message_size}B "
+        f"mtu={traffic.mtu} seed={result.config.seed}",
+        f"requester: {result.requester_counters.nic_type}  "
+        f"responder: {result.responder_counters.nic_type}",
+        f"injected events: {len(traffic.data_pkt_events)} "
+        f"(+{len(traffic.periodic_events)} periodic-ECN intents)",
+        f"simulated duration: {result.duration_ns / 1e6:.3f} ms",
+    ]
+
+    lines += _section("Integrity (§3.5)")
+    lines.append(result.integrity.summary())
+    if result.dumper_discards:
+        lines.append(f"WARNING: {result.dumper_discards} packets discarded "
+                     f"by the dumper pool — capture incomplete")
+
+    lines += _section("Application metrics")
+    stats = mct_stats(result.traffic_log.all_messages)
+    lines.append(f"goodput: {result.traffic_log.total_goodput_bps() / 1e9:.2f} Gbps")
+    if stats is not None:
+        lines.append(f"MCT: mean {stats.mean_us:.1f} us, p50 "
+                     f"{stats.p50_ns / 1e3:.1f} us, p99 {stats.p99_ns / 1e3:.1f} us, "
+                     f"max {stats.max_ns / 1e3:.1f} us ({stats.count} messages)")
+    if result.traffic_log.aborted_qps:
+        lines.append(f"WARNING: {result.traffic_log.aborted_qps} QP(s) "
+                     f"aborted (retry exhaustion)")
+
+    lines += _section("Retransmission analysis (§4)")
+    events = analyze_retransmissions(result.trace)
+    if not events:
+        lines.append("no injected drops")
+    for event in events:
+        src, dst, qpn = event.conn_key
+        kind = "fast retransmission" if event.fast_retransmission else "timeout"
+        detail = f"drop psn={event.dropped_psn} iter={event.drop_iteration} " \
+                 f"on {int_to_ip(src)}->{int_to_ip(dst)}: {kind}"
+        if event.nack_generation_ns is not None:
+            detail += f", NACK gen {event.nack_generation_ns / 1e3:.1f} us"
+        if event.nack_reaction_ns is not None:
+            detail += f", react {event.nack_reaction_ns / 1e3:.1f} us"
+        if not event.recovered:
+            detail += " — NOT RECOVERED"
+        lines.append(detail)
+
+    fsm = check_gbn_compliance(result.trace, mtu=traffic.mtu)
+    lines += _section("Go-back-N logic check (§4)")
+    if fsm.compliant:
+        lines.append(f"compliant ({fsm.connections_checked} connections, "
+                     f"{fsm.packets_checked} packets)")
+    else:
+        lines.append(f"{len(fsm.violations)} VIOLATION(S):")
+        lines.extend(f"  {violation}" for violation in fsm.violations[:10])
+
+    cnps = analyze_cnps(result.trace)
+    if cnps.total_cnps or cnps.total_ecn_marked:
+        lines += _section("Congestion notification (§4)")
+        lines.append(f"ECN-marked data packets: {cnps.total_ecn_marked}, "
+                     f"CNPs: {cnps.total_cnps}, spurious: {cnps.spurious_cnps}")
+
+    counter_report = check_counters(result)
+    lines += _section("Counter check (§4)")
+    if counter_report.consistent:
+        lines.append(f"all {counter_report.checked} checked counters "
+                     f"consistent with the trace")
+    else:
+        lines.append("COUNTER BUGS:")
+        lines.extend(f"  {mismatch}" for mismatch in counter_report.mismatches)
+
+    lines += _section("Counters (vendor names)")
+    from ..rdma.profiles import get_profile
+
+    for host in (result.requester_counters, result.responder_counters):
+        names = get_profile(host.nic_type).counter_names
+        shown = [f"{names.get(c, c)}={host.canonical.get(c, 0)}"
+                 for c in _INTERESTING_COUNTERS if host.canonical.get(c, 0)]
+        lines.append(f"{host.host} ({host.nic_type}): "
+                     + (", ".join(shown) if shown else "all quiet"))
+
+    return "\n".join(lines) + "\n"

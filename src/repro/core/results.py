@@ -1,0 +1,83 @@
+"""Result collection (§3.5, Table 1).
+
+The orchestrator gathers four artefacts after a run — dumped packets,
+network-stack counters, the traffic generator log, and switch counters
+— and wraps them with the reconstructed trace and integrity verdict in
+a single :class:`TestResult` the analyzers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .config import TestConfig
+from .intent import QpMetadata
+from .trace import IntegrityReport, PacketTrace
+from .trafficgen import TrafficGenLog
+
+__all__ = ["HostCounters", "TestResult"]
+
+
+@dataclass
+class HostCounters:
+    """One host's NIC counters, in both canonical and vendor naming."""
+
+    host: str
+    nic_type: str
+    canonical: Dict[str, int]
+    vendor: Dict[str, int]
+    #: Ground-truth values swallowed by stuck counters (simulation-only
+    #: visibility; the counter analyzer must work without this).
+    suppressed: Dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> int:
+        return self.canonical[name]
+
+
+@dataclass
+class TestResult:
+    """Everything one Lumina run produced."""
+
+    # Not a pytest class, despite the name.
+    __test__ = False
+
+    config: TestConfig
+    metadata: List[QpMetadata]
+    trace: PacketTrace
+    integrity: IntegrityReport
+    requester_counters: HostCounters
+    responder_counters: HostCounters
+    traffic_log: TrafficGenLog
+    switch_counters: Dict[str, object]
+    duration_ns: int
+    dumper_discards: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """A valid test: complete trace and no aborted connections."""
+        return self.integrity.ok and self.traffic_log.aborted_qps == 0
+
+    def counters_for(self, host: str) -> HostCounters:
+        if host == "requester":
+            return self.requester_counters
+        if host == "responder":
+            return self.responder_counters
+        raise KeyError(f"unknown host {host!r}")
+
+    def metadata_for(self, qp_index: int) -> QpMetadata:
+        for meta in self.metadata:
+            if meta.index == qp_index:
+                return meta
+        raise KeyError(f"no connection with index {qp_index}")
+
+    def summary(self) -> str:
+        lines = [
+            f"test seed={self.config.seed} verb={self.config.traffic.rdma_verb} "
+            f"connections={self.config.traffic.num_connections}",
+            self.integrity.summary(),
+            f"goodput={self.traffic_log.total_goodput_bps() / 1e9:.2f} Gbps "
+            f"avg_mct={(self.traffic_log.avg_mct_ns or 0) / 1e3:.1f} us "
+            f"aborted_qps={self.traffic_log.aborted_qps}",
+        ]
+        return "\n".join(lines)

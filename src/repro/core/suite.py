@@ -1,0 +1,367 @@
+"""Conformance suite: a standardised battery of Lumina tests.
+
+The paper closes by arguing the community needs "a comprehensive suite
+of testing tools and an ImageNet-like benchmark" for hardware network
+stacks (§1). This module is that benchmark for the simulated testbed: a
+fixed battery of scenarios, each with a spec-derived pass criterion,
+run against any NIC model to produce a scorecard.
+
+Checks are wire-evidence only (trace + counters + app metrics), so the
+same battery would be meaningful against real hardware:
+
+==============================  ==========================================
+check                           what passes
+==============================  ==========================================
+gbn-logic                       Go-back-N FSM compliance under drops
+fast-retransmission             loss recovered via NACK, not timeout
+recovery-latency                total recovery within budget (100 µs)
+read-loss-recovery              OOO Read responses recovered promptly
+tail-drop-timeout               last-packet drop recovered by RTO
+corruption-detection            iCRC failures detected and recovered
+counter-consistency             counters match the wire trace
+cnp-generation                  marks produce CNPs; none spurious
+cnp-interval-honoured           configured CNP interval respected
+ets-work-conservation           idle-queue bandwidth is redistributed
+isolation-under-read-loss       innocent flows unaffected by others' drops
+timeout-spec-compliance         RTO ≈ 4.096 µs · 2^timeout, retries exact
+reorder-tolerance               reordering recovered without a timeout
+rnr-flow-control                Sends without recv WQEs RNR-NAK, then finish
+==============================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from .analyzers.cnp import analyze_cnps, min_cnp_interval_ns
+from .analyzers.counter_check import check_counters
+from .analyzers.gbn_fsm import check_gbn_compliance
+from .analyzers.goodput import per_qp_goodput_gbps, split_mct
+from .analyzers.retrans_perf import analyze_retransmissions
+from .config import (
+    DataPacketEvent,
+    DumperPoolConfig,
+    EtsConfig,
+    EtsQueueSpec,
+    HostConfig,
+    PeriodicEcnIntent,
+    RoceParameters,
+    TestConfig,
+    TrafficConfig,
+)
+from .orchestrator import run_test
+from .results import TestResult
+
+__all__ = ["CheckResult", "Scorecard", "run_conformance_suite", "CHECKS"]
+
+
+@dataclass
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name:<28s} {self.detail}"
+
+
+@dataclass
+class Scorecard:
+    nic: str
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == self.total
+
+    def failures(self) -> List[CheckResult]:
+        return [r for r in self.results if not r.passed]
+
+    def render(self) -> str:
+        lines = [f"Conformance scorecard: {self.nic} "
+                 f"({self.passed}/{self.total} checks passed)",
+                 "=" * 60]
+        lines.extend(str(r) for r in self.results)
+        return "\n".join(lines)
+
+
+def _config(nic: str, traffic: TrafficConfig, seed: int,
+            roce: Optional[RoceParameters] = None,
+            max_duration_ns: int = 60_000_000_000) -> TestConfig:
+    roce = roce or RoceParameters()
+    return TestConfig(
+        requester=HostConfig(nic_type=nic, ip_list=("10.0.0.1/24",), roce=roce),
+        responder=HostConfig(nic_type=nic, ip_list=("10.0.0.2/24",), roce=roce),
+        traffic=traffic,
+        dumpers=DumperPoolConfig(num_servers=3),
+        seed=seed,
+        max_duration_ns=max_duration_ns,
+    )
+
+
+def _drop_run(nic: str, verb: str, seed: int) -> TestResult:
+    traffic = TrafficConfig(
+        num_connections=1, rdma_verb=verb, num_msgs_per_qp=2,
+        message_size=102400, mtu=1024, min_retransmit_timeout=17,
+        data_pkt_events=(DataPacketEvent(qpn=1, psn=50, type="drop"),),
+    )
+    return run_test(_config(nic, traffic, seed))
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+def check_gbn_logic(nic: str, seed: int) -> CheckResult:
+    result = _drop_run(nic, "write", seed)
+    report = check_gbn_compliance(result.trace)
+    return CheckResult(
+        "gbn-logic", report.compliant,
+        f"{report.packets_checked} packets checked, "
+        f"{len(report.violations)} violation(s)")
+
+
+def check_fast_retransmission(nic: str, seed: int) -> CheckResult:
+    result = _drop_run(nic, "write", seed)
+    events = analyze_retransmissions(result.trace)
+    ok = bool(events) and events[0].fast_retransmission and events[0].recovered
+    return CheckResult("fast-retransmission", ok,
+                       "recovered via NACK" if ok else "timeout or unrecovered")
+
+
+def check_recovery_latency(nic: str, seed: int,
+                           budget_ns: int = 100_000) -> CheckResult:
+    result = _drop_run(nic, "write", seed)
+    event = analyze_retransmissions(result.trace)[0]
+    total = event.total_recovery_ns or 0
+    return CheckResult(
+        "recovery-latency", bool(total) and total <= budget_ns,
+        f"total {total / 1e3:.1f} us (budget {budget_ns / 1e3:.0f} us)")
+
+
+def check_read_loss_recovery(nic: str, seed: int,
+                             budget_ns: int = 1_000_000) -> CheckResult:
+    result = _drop_run(nic, "read", seed)
+    event = analyze_retransmissions(result.trace)[0]
+    total = event.total_recovery_ns or 0
+    ok = event.recovered and total <= budget_ns
+    return CheckResult(
+        "read-loss-recovery", ok,
+        f"total {total / 1e3:.1f} us (budget {budget_ns / 1e3:.0f} us)")
+
+
+def check_tail_drop_timeout(nic: str, seed: int) -> CheckResult:
+    traffic = TrafficConfig(
+        num_connections=1, rdma_verb="write", num_msgs_per_qp=1,
+        message_size=4096, mtu=1024, min_retransmit_timeout=10,
+        data_pkt_events=(DataPacketEvent(qpn=1, psn=4, type="drop"),),
+    )
+    result = run_test(_config(nic, traffic, seed))
+    timeouts = result.requester_counters["local_ack_timeout_err"]
+    done = all(m.ok for m in result.traffic_log.all_messages)
+    return CheckResult("tail-drop-timeout", done and timeouts >= 1,
+                       f"{timeouts} timeout(s), "
+                       f"{'completed' if done else 'stuck'}")
+
+
+def check_corruption_detection(nic: str, seed: int) -> CheckResult:
+    traffic = TrafficConfig(
+        num_connections=1, rdma_verb="write", num_msgs_per_qp=2,
+        message_size=10240, mtu=1024,
+        data_pkt_events=(DataPacketEvent(qpn=1, psn=3, type="corrupt"),),
+    )
+    result = run_test(_config(nic, traffic, seed))
+    detected = result.responder_counters["rx_icrc_errors"] == 1
+    done = all(m.ok for m in result.traffic_log.all_messages)
+    return CheckResult("corruption-detection", detected and done,
+                       f"icrc_errors={result.responder_counters['rx_icrc_errors']}, "
+                       f"{'recovered' if done else 'stuck'}")
+
+
+def check_counter_consistency(nic: str, seed: int) -> CheckResult:
+    mismatches: List[str] = []
+    for verb, event in (("write", DataPacketEvent(1, 3, "ecn")),
+                        ("read", DataPacketEvent(1, 2, "drop"))):
+        traffic = TrafficConfig(num_connections=1, rdma_verb=verb,
+                                num_msgs_per_qp=2, message_size=10240,
+                                mtu=1024, data_pkt_events=(event,))
+        report = check_counters(run_test(_config(nic, traffic, seed)))
+        mismatches.extend(str(m) for m in report.mismatches)
+    return CheckResult("counter-consistency", not mismatches,
+                       mismatches[0] if mismatches else "all consistent")
+
+
+def check_cnp_generation(nic: str, seed: int) -> CheckResult:
+    traffic = TrafficConfig(
+        num_connections=1, rdma_verb="write", num_msgs_per_qp=2,
+        message_size=10240, mtu=1024,
+        data_pkt_events=(DataPacketEvent(qpn=1, psn=3, type="ecn"),),
+    )
+    result = run_test(_config(nic, traffic, seed))
+    report = analyze_cnps(result.trace)
+    ok = report.total_cnps >= 1 and report.spurious_cnps == 0
+    return CheckResult("cnp-generation", ok,
+                       f"{report.total_cnps} CNP(s) for "
+                       f"{report.total_ecn_marked} mark(s), "
+                       f"{report.spurious_cnps} spurious")
+
+
+def check_cnp_interval(nic: str, seed: int,
+                       configured_us: int = 8) -> CheckResult:
+    traffic = TrafficConfig(
+        num_connections=1, rdma_verb="write", num_msgs_per_qp=10,
+        message_size=102400, mtu=1024, barrier_sync=False, tx_depth=4,
+        periodic_events=(PeriodicEcnIntent(qpn=1, period=1),),
+    )
+    roce = RoceParameters(dcqcn_rp_enable=False,
+                          min_time_between_cnps_us=configured_us)
+    result = run_test(_config(nic, traffic, seed, roce=roce))
+    interval = min_cnp_interval_ns(result.trace)
+    ok = interval is not None and interval >= configured_us * 1000 * 0.9
+    detail = (f"min observed {interval / 1e3:.1f} us "
+              f"(configured {configured_us} us)" if interval else "no CNPs")
+    return CheckResult("cnp-interval-honoured", ok, detail)
+
+
+def check_ets_work_conservation(nic: str, seed: int) -> CheckResult:
+    from ..rdma.profiles import get_profile
+
+    line = get_profile(nic).default_bandwidth_gbps
+    traffic = TrafficConfig(
+        num_connections=2, rdma_verb="write", num_msgs_per_qp=8,
+        message_size=256 * 1024, mtu=1024, barrier_sync=False, tx_depth=2,
+        periodic_events=(PeriodicEcnIntent(qpn=1, period=50),),
+        ets=EtsConfig(queues=(EtsQueueSpec(0, 50.0), EtsQueueSpec(1, 50.0)),
+                      qp_to_queue={1: 0, 2: 1}),
+    )
+    result = run_test(_config(nic, traffic, seed))
+    goodput = per_qp_goodput_gbps(result.traffic_log)
+    ok = goodput[2] > 0.62 * line
+    return CheckResult("ets-work-conservation", ok,
+                       f"idle-queue bandwidth: QP1 got {goodput[2]:.1f} of "
+                       f"{line:.0f} Gbps")
+
+
+def check_isolation_under_read_loss(nic: str, seed: int) -> CheckResult:
+    events = tuple(DataPacketEvent(qpn=q + 1, psn=5, type="drop")
+                   for q in range(12))
+    traffic = TrafficConfig(num_connections=24, rdma_verb="read",
+                            num_msgs_per_qp=3, message_size=20480, mtu=1024,
+                            barrier_sync=True, data_pkt_events=events)
+    result = run_test(_config(nic, traffic, seed))
+    parts = split_mct(result.traffic_log, list(range(1, 13)))
+    innocent = parts["others"]
+    ok = innocent is not None and innocent.max_ns < 1_000_000
+    detail = (f"innocent max MCT {innocent.max_ns / 1e6:.2f} ms, "
+              f"rx_discards={result.requester_counters['rx_discards_phy']}"
+              if innocent else "no innocent flows completed")
+    return CheckResult("isolation-under-read-loss", ok, detail)
+
+
+def check_timeout_spec(nic: str, seed: int) -> CheckResult:
+    # Drop the last packet 3 times with timeout=10 (4.19 ms): each gap
+    # must be the configured RTO and retries must not exceed budget.
+    events = tuple(DataPacketEvent(qpn=1, psn=10, type="drop", iter=i)
+                   for i in range(1, 4))
+    traffic = TrafficConfig(num_connections=1, rdma_verb="write",
+                            num_msgs_per_qp=1, message_size=10240, mtu=1024,
+                            min_retransmit_timeout=10, max_retransmit_retry=7,
+                            data_pkt_events=events)
+    result = run_test(_config(nic, traffic, seed))
+    meta = result.metadata[0]
+    conn = (meta.requester_ip, meta.responder_ip, meta.responder_qpn)
+    last_psn = (meta.requester_ipsn + 9) & 0xFFFFFF
+    appearances = [p for p in result.trace.data_packets(conn)
+                   if p.psn == last_psn]
+    gaps_ms = [(b.timestamp_ns - a.timestamp_ns) / 1e6
+               for a, b in zip(appearances, appearances[1:])]
+    expected_ms = 4096 * (2 ** 10) / 1e6
+    ok = bool(gaps_ms) and all(abs(g - expected_ms) < expected_ms * 0.1
+                               for g in gaps_ms)
+    return CheckResult("timeout-spec-compliance", ok,
+                       f"RTOs {['%.2f' % g for g in gaps_ms]} ms "
+                       f"(spec {expected_ms:.2f} ms)")
+
+
+def check_reorder_tolerance(nic: str, seed: int) -> CheckResult:
+    """§7 extension event: a reordered packet must not cost a timeout."""
+    traffic = TrafficConfig(
+        num_connections=1, rdma_verb="write", num_msgs_per_qp=2,
+        message_size=10240, mtu=1024,
+        data_pkt_events=(DataPacketEvent(qpn=1, psn=3, type="reorder"),),
+    )
+    result = run_test(_config(nic, traffic, seed))
+    done = all(m.ok for m in result.traffic_log.all_messages)
+    timeouts = result.requester_counters["local_ack_timeout_err"]
+    return CheckResult("reorder-tolerance", done and timeouts == 0,
+                       f"{'recovered' if done else 'stuck'}, "
+                       f"{timeouts} timeout(s)")
+
+
+def check_rnr_flow_control(nic: str, seed: int) -> CheckResult:
+    """RC flow control: Sends without receive WQEs must RNR-NAK, then
+    complete once WQEs appear — without exploding into a retry storm."""
+    from .. import quick_config
+    from ..rdma.verbs import CompletionQueue, Verb, WcStatus, WorkRequest
+    from .testbed import build_testbed
+
+    testbed = build_testbed(quick_config(nic=nic, seed=seed))
+    req_cq, resp_cq = CompletionQueue(), CompletionQueue()
+    req = testbed.requester.nic.create_qp(req_cq, testbed.requester.ips[0])
+    resp = testbed.responder.nic.create_qp(resp_cq, testbed.responder.ips[0])
+    req.connect(testbed.responder.ips[0], resp.qp_num, resp.initial_psn)
+    resp.connect(testbed.requester.ips[0], req.qp_num, req.initial_psn)
+    resp.auto_recv = False
+    req.rnr_timer_ns = 10_000
+    req.post_send(WorkRequest(verb=Verb.SEND, length=2048))
+    testbed.sim.run_for(25_000)
+    rnr_naks = testbed.responder.nic.counters["rnr_nak_sent"]
+    resp.post_recv(1)
+    testbed.sim.run()
+    completions = req_cq.poll()
+    ok = (rnr_naks >= 1 and completions
+          and completions[0].status is WcStatus.SUCCESS)
+    return CheckResult("rnr-flow-control", bool(ok),
+                       f"{rnr_naks} RNR NAK(s), "
+                       f"{'completed after post_recv' if ok else 'failed'}")
+
+
+CHECKS: Dict[str, Callable[[str, int], CheckResult]] = {
+    "gbn-logic": check_gbn_logic,
+    "fast-retransmission": check_fast_retransmission,
+    "recovery-latency": check_recovery_latency,
+    "read-loss-recovery": check_read_loss_recovery,
+    "tail-drop-timeout": check_tail_drop_timeout,
+    "corruption-detection": check_corruption_detection,
+    "counter-consistency": check_counter_consistency,
+    "cnp-generation": check_cnp_generation,
+    "cnp-interval-honoured": check_cnp_interval,
+    "ets-work-conservation": check_ets_work_conservation,
+    "isolation-under-read-loss": check_isolation_under_read_loss,
+    "timeout-spec-compliance": check_timeout_spec,
+    "reorder-tolerance": check_reorder_tolerance,
+    "rnr-flow-control": check_rnr_flow_control,
+}
+
+
+def run_conformance_suite(nic: str, seed: int = 77,
+                          checks: Optional[List[str]] = None) -> Scorecard:
+    """Run the standard battery (or a subset) against one NIC model."""
+    selected = checks or list(CHECKS)
+    unknown = set(selected) - set(CHECKS)
+    if unknown:
+        raise KeyError(f"unknown checks: {sorted(unknown)}")
+    card = Scorecard(nic=nic)
+    for name in selected:
+        card.results.append(CHECKS[name](nic, seed))
+    return card

@@ -1,0 +1,131 @@
+"""Testbed builder: two hosts + event injector + dumper pool (Fig. 1).
+
+Translates a :class:`~repro.core.config.TestConfig` into wired simulation
+objects: RNICs built from their vendor profiles, a switch with forwarding
+entries for every host IP (multi-GID hosts get one entry per IP), and a
+dumper pool attached to the mirror block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..dumper.pool import DumperPool
+from ..net.addressing import parse_cidr
+from ..net.link import connect, gbps
+from ..rdma.nic import RdmaNic
+from ..rdma.profiles import get_profile
+from ..sim.engine import Simulator
+from ..sim.rng import SimRandom
+from ..switch.controlplane import SwitchController
+from ..switch.pipeline import TofinoSwitch
+from .config import HostConfig, TestConfig
+
+__all__ = ["Host", "Testbed", "build_testbed"]
+
+
+@dataclass
+class Host:
+    """One traffic-generation host: a NIC plus its configured IPs."""
+
+    name: str
+    nic: RdmaNic
+    ips: List[int] = field(default_factory=list)
+
+    @property
+    def primary_ip(self) -> int:
+        return self.ips[0]
+
+
+@dataclass
+class Testbed:
+    """All wired components of one test run."""
+
+    sim: Simulator
+    rng: SimRandom
+    requester: Host
+    responder: Host
+    switch: TofinoSwitch
+    switch_controller: SwitchController
+    dumpers: DumperPool
+    config: TestConfig
+
+
+def _build_host(sim: Simulator, rng: SimRandom, name: str,
+                config: HostConfig, mtu: int,
+                adaptive_retrans: bool) -> Host:
+    profile = get_profile(config.nic_type)
+    nic = RdmaNic(
+        sim, name, profile, rng,
+        bandwidth_gbps=config.bandwidth_gbps,
+        mtu=mtu,
+        min_time_between_cnps_ns=config.roce.min_time_between_cnps_us * 1_000,
+        dcqcn_rp_enable=config.roce.dcqcn_rp_enable,
+        dcqcn_np_enable=config.roce.dcqcn_np_enable,
+        adaptive_retrans=adaptive_retrans,
+    )
+    ips = [parse_cidr(cidr)[0] for cidr in config.ip_list]
+    nic.ip_list = list(ips)
+    return Host(name=name, nic=nic, ips=list(ips))
+
+
+def build_testbed(config: TestConfig) -> Testbed:
+    """Construct and wire every component of the Fig. 1 topology."""
+    sim = Simulator()
+    rng = SimRandom(config.seed)
+
+    requester = _build_host(sim, rng, "requester", config.requester,
+                            config.traffic.mtu,
+                            config.requester.roce.adaptive_retrans)
+    responder = _build_host(sim, rng, "responder", config.responder,
+                            config.traffic.mtu,
+                            config.responder.roce.adaptive_retrans)
+
+    switch = TofinoSwitch(
+        sim, "tofino", rng,
+        event_injection=config.switch.event_injection,
+        mirroring=config.switch.mirroring,
+        randomize_mirror_udp_port=config.switch.randomize_mirror_udp_port,
+        ecn_threshold_bytes=(config.switch.ecn_threshold_kb * 1024
+                             if config.switch.ecn_threshold_kb else None),
+    )
+    controller = SwitchController(switch)
+
+    # Host <-> switch links at the host's port speed.
+    delay = config.switch.link_delay_ns
+    for host in (requester, responder):
+        sw_port = switch.add_host_port(host.nic.port.bandwidth_bps,
+                                       name=f"tofino->{host.name}")
+        connect(sw_port, host.nic.port, propagation_delay_ns=delay)
+        for ip in host.ips:
+            switch.set_forwarding(ip, sw_port)
+
+    # Every host resolves every IP (the switch forwards on IP anyway;
+    # MACs only matter because mirroring reuses the MAC fields).
+    arp: Dict[int, int] = {}
+    for host in (requester, responder):
+        for ip in host.ips:
+            arp[ip] = host.nic.mac
+    requester.nic.arp.update(arp)
+    responder.nic.arp.update(arp)
+
+    # Dumper pool sized to the fastest host port unless overridden.
+    dumpers = DumperPool(sim)
+    pool_bw = config.dumpers.bandwidth_gbps
+    host_bw = max(requester.nic.port.bandwidth_bps, responder.nic.port.bandwidth_bps)
+    for _ in range(config.dumpers.num_servers):
+        dumpers.add_server(
+            switch,
+            bandwidth_bps=gbps(pool_bw) if pool_bw else host_bw,
+            num_cores=config.dumpers.cores_per_server,
+            core_service_ns=config.dumpers.core_service_ns,
+            ring_slots=config.dumpers.ring_slots,
+            propagation_delay_ns=delay,
+        )
+
+    return Testbed(
+        sim=sim, rng=rng, requester=requester, responder=responder,
+        switch=switch, switch_controller=controller, dumpers=dumpers,
+        config=config,
+    )

@@ -1,0 +1,219 @@
+"""Packet-trace reconstruction and integrity checking (§3.5).
+
+After TERM, the orchestrator gathers records from every dumper server
+and rebuilds the global trace by sorting on the switch-assigned mirror
+sequence number. Integrity requires all three paper conditions:
+
+1. mirror sequence numbers in the trace are consecutive (0..N-1),
+2. the switch mirrored exactly N packets,
+3. the switch received exactly N RoCE packets (so nothing escaped
+   mirroring and nothing was mirrored twice).
+
+A trace also re-derives the ITER number of every packet offline using
+the same Fig. 3 algorithm the data plane runs, which is what lets the
+analyzers tell retransmissions apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..dumper.records import DumpRecord, ParsedRecord, parse_record
+from ..net.headers import Opcode
+from ..net.packet import EventType
+from ..switch.itertrack import IterTracker
+
+__all__ = ["TracePacket", "PacketTrace", "IntegrityReport",
+           "reconstruct_trace", "check_integrity", "format_trace"]
+
+
+@dataclass
+class TracePacket:
+    """One trace entry: a parsed record plus its offline-derived ITER."""
+
+    record: ParsedRecord
+    iteration: int
+
+    # Convenience pass-throughs used heavily by the analyzers.
+    @property
+    def opcode(self) -> Opcode:
+        return self.record.opcode
+
+    @property
+    def psn(self) -> int:
+        return self.record.psn
+
+    @property
+    def timestamp_ns(self) -> int:
+        return self.record.switch_timestamp_ns
+
+    @property
+    def mirror_seq(self) -> int:
+        return self.record.mirror_seq
+
+    @property
+    def event_type(self) -> int:
+        return self.record.event_type
+
+    @property
+    def conn_key(self) -> Tuple[int, int, int]:
+        return self.record.conn_key
+
+    @property
+    def is_data(self) -> bool:
+        return self.record.opcode.is_data
+
+    @property
+    def was_dropped(self) -> bool:
+        return self.record.event_type == EventType.DROP
+
+    @property
+    def was_ecn_marked(self) -> bool:
+        return self.record.event_type == EventType.ECN
+
+
+@dataclass
+class PacketTrace:
+    """The reconstructed, time-ordered view of everything on the wire."""
+
+    packets: List[TracePacket] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self):
+        return iter(self.packets)
+
+    def connections(self) -> List[Tuple[int, int, int]]:
+        """Directed connection keys present, in first-seen order."""
+        seen: Dict[Tuple[int, int, int], None] = {}
+        for pkt in self.packets:
+            seen.setdefault(pkt.conn_key, None)
+        return list(seen)
+
+    def for_connection(self, conn_key: Tuple[int, int, int]) -> List[TracePacket]:
+        return [p for p in self.packets if p.conn_key == conn_key]
+
+    def data_packets(self, conn_key: Optional[Tuple[int, int, int]] = None
+                     ) -> List[TracePacket]:
+        return [p for p in self.packets
+                if p.is_data and (conn_key is None or p.conn_key == conn_key)]
+
+    def by_opcode(self, *opcodes: Opcode) -> List[TracePacket]:
+        wanted = set(opcodes)
+        return [p for p in self.packets if p.opcode in wanted]
+
+    def cnps(self) -> List[TracePacket]:
+        return self.by_opcode(Opcode.CNP)
+
+    def acks(self) -> List[TracePacket]:
+        return self.by_opcode(Opcode.ACKNOWLEDGE)
+
+    def naks(self) -> List[TracePacket]:
+        return [p for p in self.acks()
+                if p.record.aeth is not None and p.record.aeth.is_nak]
+
+    def find(self, conn_key: Tuple[int, int, int], psn: int,
+             iteration: int = 1) -> Optional[TracePacket]:
+        """The packet of a connection with the given (PSN, ITER) identity."""
+        for pkt in self.packets:
+            if pkt.conn_key == conn_key and pkt.psn == psn \
+                    and pkt.iteration == iteration:
+                return pkt
+        return None
+
+
+@dataclass
+class IntegrityReport:
+    """Result of the three-condition §3.5 integrity check."""
+
+    seq_consecutive: bool
+    mirror_count_matches: bool
+    roce_count_matches: bool
+    trace_packets: int
+    mirrored_packets: int
+    roce_rx_packets: int
+    missing_seqs: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (self.seq_consecutive and self.mirror_count_matches
+                and self.roce_count_matches)
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return (f"integrity {status}: trace={self.trace_packets} "
+                f"mirrored={self.mirrored_packets} roce_rx={self.roce_rx_packets} "
+                f"missing={len(self.missing_seqs)}")
+
+
+def format_trace(trace: PacketTrace, limit: Optional[int] = None,
+                 conn_key: Optional[Tuple[int, int, int]] = None) -> str:
+    """Render a trace as tcpdump-style text (debugging / examples).
+
+    One line per packet: switch timestamp, mirror sequence, addresses,
+    opcode, PSN, offline-derived ITER and any injected event.
+    """
+    from ..net.addressing import int_to_ip
+
+    lines = []
+    shown = 0
+    for pkt in trace:
+        if conn_key is not None and pkt.conn_key != conn_key:
+            continue
+        if limit is not None and shown >= limit:
+            lines.append(f"... ({len(trace) - shown} more packets)")
+            break
+        shown += 1
+        record = pkt.record
+        event = ""
+        if pkt.event_type != EventType.NONE:
+            event = f"  [{record.event_name.upper()}]"
+        extra = ""
+        if record.aeth is not None:
+            if record.aeth.is_nak:
+                extra = " NAK"
+            elif record.aeth.is_rnr:
+                extra = " RNR"
+            elif pkt.opcode == Opcode.ACKNOWLEDGE:
+                extra = " ACK"
+        lines.append(
+            f"{pkt.timestamp_ns / 1e3:12.3f}us #{pkt.mirror_seq:<6d} "
+            f"{int_to_ip(record.ip.src_ip):>11s} > "
+            f"{int_to_ip(record.ip.dst_ip):<11s} "
+            f"{pkt.opcode.name:<26s} psn={pkt.psn:<8d} "
+            f"iter={pkt.iteration}{extra}{event}"
+        )
+    return "\n".join(lines)
+
+
+def reconstruct_trace(records: Iterable[DumpRecord]) -> PacketTrace:
+    """Sort dumped records by mirror sequence and re-derive ITERs."""
+    parsed = sorted((parse_record(r) for r in records), key=lambda p: p.mirror_seq)
+    tracker = IterTracker(max_connections=1_000_000)
+    packets = []
+    for record in parsed:
+        iteration = tracker.update(record.ip.src_ip, record.ip.dst_ip,
+                                   record.bth.dest_qp, record.bth.psn)
+        packets.append(TracePacket(record=record, iteration=iteration))
+    return PacketTrace(packets=packets)
+
+
+def check_integrity(trace: PacketTrace, switch_counters: Dict) -> IntegrityReport:
+    """Apply the three §3.5 conditions against the switch's counters."""
+    seqs = [p.mirror_seq for p in trace.packets]
+    mirrored = int(switch_counters.get("mirrored_packets", 0))
+    roce_rx = int(switch_counters.get("roce_rx_packets", 0))
+    expected = set(range(len(seqs)))
+    missing = sorted(expected - set(seqs))
+    consecutive = seqs == list(range(len(seqs))) and len(set(seqs)) == len(seqs)
+    return IntegrityReport(
+        seq_consecutive=consecutive,
+        mirror_count_matches=(mirrored == len(seqs)),
+        roce_count_matches=(roce_rx == len(seqs)),
+        trace_packets=len(seqs),
+        mirrored_packets=mirrored,
+        roce_rx_packets=roce_rx,
+        missing_seqs=missing,
+    )

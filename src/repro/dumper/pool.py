@@ -1,0 +1,65 @@
+"""The traffic-dumper pool: several servers dumping in concert (§3.4).
+
+A pool aggregates heterogeneous dumper servers. The switch's mirror
+block load-balances across the pool with weights proportional to each
+server's capacity; after the test the orchestrator TERMs every server
+and gathers all disk files for trace reconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..net.link import connect
+from ..sim.engine import Simulator
+from ..switch.pipeline import TofinoSwitch
+from .records import DumpRecord
+from .server import DumperServer
+
+__all__ = ["DumperPool"]
+
+
+class DumperPool:
+    """Builds, wires and collects from a group of dumper servers."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.servers: List[DumperServer] = []
+
+    def add_server(self, switch: TofinoSwitch, bandwidth_bps: int,
+                   num_cores: int = 8, core_service_ns: int = 170,
+                   ring_slots: int = 1024, weight: int = 0,
+                   propagation_delay_ns: int = 500) -> DumperServer:
+        """Create a server and attach it to the switch's mirror block.
+
+        ``weight=0`` derives the WRR weight from the server's aggregate
+        core capacity so faster servers absorb proportionally more
+        mirrored traffic.
+        """
+        name = f"dumper{len(self.servers)}"
+        server = DumperServer(self.sim, name, bandwidth_bps,
+                              num_cores=num_cores,
+                              core_service_ns=core_service_ns,
+                              ring_slots=ring_slots)
+        if weight <= 0:
+            weight = max(1, server.capacity_pps // 1_000_000)
+        switch_port = switch.add_dumper_port(bandwidth_bps, weight=weight,
+                                             name=f"{switch.name}->{name}")
+        connect(switch_port, server.port, propagation_delay_ns)
+        self.servers.append(server)
+        return server
+
+    def terminate_all(self) -> List[DumpRecord]:
+        """Send TERM to every server; returns all records, unsorted."""
+        records: List[DumpRecord] = []
+        for server in self.servers:
+            records.extend(server.terminate())
+        return records
+
+    @property
+    def total_discards(self) -> int:
+        return sum(server.rx_discards for server in self.servers)
+
+    @property
+    def total_buffered(self) -> int:
+        return sum(server.buffered_records for server in self.servers)

@@ -1,0 +1,174 @@
+"""Dump records: trimmed packets as the dumpers store them on disk.
+
+The packet dumper copies only the first 128 bytes of each mirrored
+packet (§5) — enough for every protocol header Lumina needs — together
+with a host receive timestamp. Records are raw bytes, exactly what a
+DPDK dumper would write; :func:`parse_record` re-parses them into the
+structured form the analyzers consume, decoding the switch-embedded
+metadata (event type from TTL, mirror sequence from the source MAC,
+switch timestamp from the destination MAC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.addressing import ROCEV2_UDP_PORT
+from ..net.headers import (
+    AckExtendedHeader,
+    AETH_LEN,
+    BaseTransportHeader,
+    BTH_LEN,
+    EthernetHeader,
+    ETH_HEADER_LEN,
+    ICRC_LEN,
+    Ipv4Header,
+    IPV4_HEADER_LEN,
+    Opcode,
+    RdmaExtendedHeader,
+    RETH_LEN,
+    UDP_HEADER_LEN,
+    UdpHeader,
+)
+from ..net.packet import EventType, Packet
+
+__all__ = ["TRIM_BYTES", "DumpRecord", "ParsedRecord", "make_record", "parse_record"]
+
+#: Bytes of each packet the dumper retains (§5).
+TRIM_BYTES = 128
+
+#: Opcodes whose packets carry a RETH.
+_RETH_OPCODES = frozenset({
+    Opcode.RDMA_WRITE_FIRST,
+    Opcode.RDMA_WRITE_ONLY,
+    Opcode.RDMA_READ_REQUEST,
+})
+
+#: Opcodes whose packets carry an AETH.
+_AETH_OPCODES = frozenset({
+    Opcode.ACKNOWLEDGE,
+    Opcode.RDMA_READ_RESPONSE_FIRST,
+    Opcode.RDMA_READ_RESPONSE_LAST,
+    Opcode.RDMA_READ_RESPONSE_ONLY,
+})
+
+
+@dataclass
+class DumpRecord:
+    """One trimmed packet as buffered in dumper memory / written to disk."""
+
+    raw: bytes
+    rx_time_ns: int
+    server: str
+    core: int
+
+    def restored(self) -> "DumpRecord":
+        """Record with the UDP destination port restored to 4791 (§3.4).
+
+        The dumper performs this rewrite for all mirrored packets when
+        it receives the orchestrator's TERM message, undoing the RSS
+        port randomisation before the file hits the disk.
+        """
+        if len(self.raw) < ETH_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN:
+            return self
+        offset = ETH_HEADER_LEN + IPV4_HEADER_LEN
+        port_bytes = ROCEV2_UDP_PORT.to_bytes(2, "big")
+        raw = self.raw[: offset + 2] + port_bytes + self.raw[offset + 4:]
+        return DumpRecord(raw=raw, rx_time_ns=self.rx_time_ns,
+                          server=self.server, core=self.core)
+
+
+@dataclass
+class ParsedRecord:
+    """A dump record decoded back into headers + mirror metadata."""
+
+    eth: EthernetHeader
+    ip: Ipv4Header
+    udp: UdpHeader
+    bth: BaseTransportHeader
+    reth: Optional[RdmaExtendedHeader]
+    aeth: Optional[AckExtendedHeader]
+    payload_len: int
+    rx_time_ns: int
+    server: str
+    core: int
+
+    # -- switch-embedded metadata (§3.4) --------------------------------
+    @property
+    def mirror_seq(self) -> int:
+        return self.eth.src_mac
+
+    @property
+    def switch_timestamp_ns(self) -> int:
+        return self.eth.dst_mac
+
+    @property
+    def event_type(self) -> int:
+        return self.ip.ttl
+
+    @property
+    def event_name(self) -> str:
+        return EventType.NAMES.get(self.event_type, f"unknown({self.event_type})")
+
+    @property
+    def opcode(self) -> Opcode:
+        return self.bth.opcode
+
+    @property
+    def psn(self) -> int:
+        return self.bth.psn
+
+    @property
+    def dest_qp(self) -> int:
+        return self.bth.dest_qp
+
+    @property
+    def conn_key(self) -> tuple:
+        """The directed-connection key the switch tracks ITER by."""
+        return (self.ip.src_ip, self.ip.dst_ip, self.bth.dest_qp)
+
+
+def make_record(packet: Packet, rx_time_ns: int, server: str, core: int) -> DumpRecord:
+    """Trim a mirrored packet into a dump record (first 128 wire bytes)."""
+    headers = packet.pack_headers()
+    wire_len = min(TRIM_BYTES, packet.size)
+    if len(headers) >= wire_len:
+        raw = headers[:wire_len]
+    else:
+        raw = headers + bytes(wire_len - len(headers))  # zeroed payload bytes
+    return DumpRecord(raw=raw, rx_time_ns=rx_time_ns, server=server, core=core)
+
+
+def parse_record(record: DumpRecord) -> ParsedRecord:
+    """Decode a trimmed record back into structured headers.
+
+    Raises ValueError on records that are not RoCEv2 (the dumpers only
+    ever receive mirrored RoCE traffic, so this indicates corruption).
+    """
+    raw = record.raw
+    offset = 0
+    eth = EthernetHeader.unpack(raw[offset:])
+    offset += ETH_HEADER_LEN
+    ip = Ipv4Header.unpack(raw[offset:])
+    offset += IPV4_HEADER_LEN
+    udp = UdpHeader.unpack(raw[offset:])
+    offset += UDP_HEADER_LEN
+    bth = BaseTransportHeader.unpack(raw[offset:])
+    offset += BTH_LEN
+    reth = None
+    aeth = None
+    if bth.opcode in _RETH_OPCODES:
+        reth = RdmaExtendedHeader.unpack(raw[offset:])
+        offset += RETH_LEN
+    elif bth.opcode in _AETH_OPCODES:
+        aeth = AckExtendedHeader.unpack(raw[offset:])
+        offset += AETH_LEN
+    ext_len = (RETH_LEN if reth is not None else 0) + (AETH_LEN if aeth is not None else 0)
+    payload_len = ip.total_length - IPV4_HEADER_LEN - UDP_HEADER_LEN - BTH_LEN \
+        - ext_len - ICRC_LEN
+    return ParsedRecord(
+        eth=eth, ip=ip, udp=udp, bth=bth, reth=reth, aeth=aeth,
+        payload_len=max(0, payload_len),
+        rx_time_ns=record.rx_time_ns, server=record.server, core=record.core,
+    )

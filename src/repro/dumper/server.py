@@ -1,0 +1,121 @@
+"""A traffic-dumper server: DPDK-style RX with RSS across CPU cores.
+
+Each server receives mirrored packets on one NIC port, spreads them
+across cores with Receive Side Scaling (a hash over the 5-tuple) and
+buffers trimmed records in memory, writing them out when the
+orchestrator sends TERM (§3.4).
+
+The performance model is the one that motivated Lumina's per-packet
+load balancing: a core processes one packet per fixed service time and
+fronts a bounded ring; when a burst lands on one core (RSS is per-flow,
+and all mirrored traffic of one QP is one flow) the ring overflows and
+packets are discarded — the ``rx_discards_phy`` situation described in
+§3.4. Rewriting the UDP port at the switch fans the same traffic across
+all cores and makes the pool keep up.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.link import Node, Port
+from ..net.packet import Packet
+from ..sim.engine import Simulator
+from .records import DumpRecord, make_record
+
+__all__ = ["DumperServer"]
+
+
+def _rss_hash(src_ip: int, dst_ip: int, src_port: int, dst_port: int) -> int:
+    """Deterministic FNV-1a over the 5-tuple fields RSS hashes."""
+    value = 0x811C9DC5
+    for word in (src_ip, dst_ip, src_port, dst_port):
+        for shift in (24, 16, 8, 0):
+            value ^= (word >> shift) & 0xFF
+            value = (value * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+class _Core:
+    """One CPU core: a bounded ring plus a fixed per-packet service time."""
+
+    def __init__(self, index: int, ring_slots: int, service_ns: int):
+        self.index = index
+        self.ring_slots = ring_slots
+        self.service_ns = service_ns
+        self.backlog = 0
+        self.free_at = 0
+        self.processed = 0
+        self.dropped = 0
+
+
+class DumperServer(Node):
+    """One host of the traffic dumper pool."""
+
+    def __init__(self, sim: Simulator, name: str, bandwidth_bps: int,
+                 num_cores: int = 8, core_service_ns: int = 170,
+                 ring_slots: int = 1024):
+        super().__init__(sim, name)
+        if num_cores <= 0:
+            raise ValueError("dumper needs at least one core")
+        self.port: Port = self.add_port(bandwidth_bps, name=f"{name}.eth0")
+        self.cores = [_Core(i, ring_slots, core_service_ns) for i in range(num_cores)]
+        self._records: List[DumpRecord] = []
+        self._terminated = False
+        self._disk_file: Optional[List[DumpRecord]] = None
+        self.rx_discards = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_pps(self) -> int:
+        """Aggregate packets/second the server can sustain when balanced."""
+        return len(self.cores) * (1_000_000_000 // self.cores[0].service_ns)
+
+    def handle_packet(self, port: Port, packet: Packet) -> None:
+        if self._terminated or packet.udp is None or packet.ip is None:
+            return
+        core = self.cores[
+            _rss_hash(packet.ip.src_ip, packet.ip.dst_ip,
+                      packet.udp.src_port, packet.udp.dst_port) % len(self.cores)
+        ]
+        if core.backlog >= core.ring_slots:
+            core.dropped += 1
+            self.rx_discards += 1
+            return
+        core.backlog += 1
+        start = max(self.sim.now, core.free_at)
+        core.free_at = start + core.service_ns
+        self.sim.schedule(core.free_at - self.sim.now, self._process, core, packet)
+
+    def _process(self, core: _Core, packet: Packet) -> None:
+        core.backlog -= 1
+        core.processed += 1
+        # Copy only the first 128 bytes into pre-allocated memory (§5).
+        self._records.append(make_record(packet, self.sim.now, self.name, core.index))
+
+    # ------------------------------------------------------------------
+    def terminate(self) -> List[DumpRecord]:
+        """Handle the orchestrator's TERM: restore UDP ports, write disk.
+
+        Returns the written records. Packets still queued in core rings
+        at TERM time are lost, as they would be in the real dumper.
+        """
+        self._terminated = True
+        self._disk_file = [record.restored() for record in self._records]
+        return self._disk_file
+
+    @property
+    def disk_file(self) -> Optional[List[DumpRecord]]:
+        """Records written on TERM, or None if still running."""
+        return self._disk_file
+
+    @property
+    def buffered_records(self) -> int:
+        return len(self._records)
+
+    @property
+    def core_stats(self) -> List[dict]:
+        return [
+            {"core": c.index, "processed": c.processed, "dropped": c.dropped}
+            for c in self.cores
+        ]

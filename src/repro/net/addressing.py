@@ -1,0 +1,80 @@
+"""MAC / IPv4 address helpers.
+
+Addresses are stored as integers internally (cheap to hash and compare
+in match-action tables) with helpers to render and parse the usual
+string forms. The GID used by RoCEv2 traffic generators is an IPv4
+address (RoCEv2 uses IPv4/IPv6-based GIDs); §3.2's ``multi-gid`` option
+assigns several IPs to one port to emulate traffic from multiple hosts.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mac_to_int",
+    "int_to_mac",
+    "ip_to_int",
+    "int_to_ip",
+    "parse_cidr",
+    "ROCEV2_UDP_PORT",
+]
+
+#: UDP destination port reserved for RoCEv2 (IANA).
+ROCEV2_UDP_PORT = 4791
+
+
+def mac_to_int(mac: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into a 48-bit integer."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address: {mac!r}")
+    value = 0
+    for part in parts:
+        byte = int(part, 16)
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"invalid MAC address: {mac!r}")
+        value = (value << 8) | byte
+    return value
+
+
+def int_to_mac(value: int) -> str:
+    """Render a 48-bit integer as ``aa:bb:cc:dd:ee:ff``."""
+    if not 0 <= value <= 0xFFFFFFFFFFFF:
+        raise ValueError(f"MAC value out of range: {value:#x}")
+    return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in range(40, -8, -8))
+
+
+def ip_to_int(ip: str) -> int:
+    """Parse dotted-quad IPv4 into a 32-bit integer."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {ip!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 address: {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 value out of range: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in range(24, -8, -8))
+
+
+def parse_cidr(cidr: str) -> tuple:
+    """Parse ``10.0.0.2/24`` into ``(ip_int, prefix_len)``.
+
+    A bare address is accepted and treated as a /32 host route, matching
+    how Listing 1's ``ip-list`` entries may omit the prefix.
+    """
+    if "/" in cidr:
+        addr, prefix = cidr.split("/", 1)
+        prefix_len = int(prefix)
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"invalid prefix length in {cidr!r}")
+    else:
+        addr, prefix_len = cidr, 32
+    return ip_to_int(addr), prefix_len

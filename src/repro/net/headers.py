@@ -1,0 +1,431 @@
+"""Byte-accurate protocol headers for RoCEv2 traffic.
+
+Implements the header stack Lumina observes on the wire:
+
+    Ethernet / IPv4 / UDP / IB BTH / [RETH | AETH] / payload / iCRC
+
+Every header packs to and parses from real wire bytes, which is what the
+traffic-dumper records store (trimmed to the first 128 bytes, §5) and
+what the analyzers parse back. The switch's metadata-embedding trick
+(§3.4) — rewriting TTL, source MAC and destination MAC of mirrored
+packets — therefore works on genuine header fields here too.
+
+Opcodes and field layouts follow the InfiniBand Architecture
+Specification (RC transport) and the RoCEv2 annex; only the fields
+Lumina needs are modelled, but the byte offsets and sizes are faithful.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+__all__ = [
+    "Opcode",
+    "AethSyndrome",
+    "EthernetHeader",
+    "Ipv4Header",
+    "UdpHeader",
+    "BaseTransportHeader",
+    "RdmaExtendedHeader",
+    "AckExtendedHeader",
+    "ETH_HEADER_LEN",
+    "IPV4_HEADER_LEN",
+    "UDP_HEADER_LEN",
+    "BTH_LEN",
+    "RETH_LEN",
+    "AETH_LEN",
+    "ICRC_LEN",
+    "ECN_NOT_ECT",
+    "ECN_ECT0",
+    "ECN_ECT1",
+    "ECN_CE",
+    "ETHERTYPE_IPV4",
+    "IPPROTO_UDP",
+]
+
+ETH_HEADER_LEN = 14
+IPV4_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+BTH_LEN = 12
+RETH_LEN = 16
+AETH_LEN = 4
+ICRC_LEN = 4
+
+ETHERTYPE_IPV4 = 0x0800
+IPPROTO_UDP = 17
+
+# IP ECN codepoints (RFC 3168).
+ECN_NOT_ECT = 0b00
+ECN_ECT1 = 0b01
+ECN_ECT0 = 0b10
+ECN_CE = 0b11
+
+
+class Opcode(IntEnum):
+    """IB RC transport opcodes (subset used by Lumina's traffic)."""
+
+    SEND_FIRST = 0x00
+    SEND_MIDDLE = 0x01
+    SEND_LAST = 0x02
+    SEND_ONLY = 0x04
+    RDMA_WRITE_FIRST = 0x06
+    RDMA_WRITE_MIDDLE = 0x07
+    RDMA_WRITE_LAST = 0x08
+    RDMA_WRITE_ONLY = 0x0A
+    RDMA_READ_REQUEST = 0x0C
+    RDMA_READ_RESPONSE_FIRST = 0x0D
+    RDMA_READ_RESPONSE_MIDDLE = 0x0E
+    RDMA_READ_RESPONSE_LAST = 0x0F
+    RDMA_READ_RESPONSE_ONLY = 0x10
+    ACKNOWLEDGE = 0x11
+    # RoCEv2 congestion notification packet (CNP) opcode.
+    CNP = 0x81
+
+    @property
+    def is_data(self) -> bool:
+        """True for packets that carry message payload toward the receiver.
+
+        Lumina's event injector only targets data packets (§3.3): for
+        Read that is the read *response* stream, for Write/Send the
+        request stream. Read requests, ACK/NAK and CNPs are control.
+        """
+        return self in _DATA_OPCODES
+
+    @property
+    def is_read_response(self) -> bool:
+        return self in (
+            Opcode.RDMA_READ_RESPONSE_FIRST,
+            Opcode.RDMA_READ_RESPONSE_MIDDLE,
+            Opcode.RDMA_READ_RESPONSE_LAST,
+            Opcode.RDMA_READ_RESPONSE_ONLY,
+        )
+
+    @property
+    def is_send(self) -> bool:
+        return self in (
+            Opcode.SEND_FIRST,
+            Opcode.SEND_MIDDLE,
+            Opcode.SEND_LAST,
+            Opcode.SEND_ONLY,
+        )
+
+    @property
+    def is_write(self) -> bool:
+        return self in (
+            Opcode.RDMA_WRITE_FIRST,
+            Opcode.RDMA_WRITE_MIDDLE,
+            Opcode.RDMA_WRITE_LAST,
+            Opcode.RDMA_WRITE_ONLY,
+        )
+
+    @property
+    def is_first(self) -> bool:
+        return self in (
+            Opcode.SEND_FIRST,
+            Opcode.RDMA_WRITE_FIRST,
+            Opcode.RDMA_READ_RESPONSE_FIRST,
+        )
+
+    @property
+    def is_last(self) -> bool:
+        """True if this packet completes a message (LAST or ONLY)."""
+        return self in (
+            Opcode.SEND_LAST,
+            Opcode.SEND_ONLY,
+            Opcode.RDMA_WRITE_LAST,
+            Opcode.RDMA_WRITE_ONLY,
+            Opcode.RDMA_READ_RESPONSE_LAST,
+            Opcode.RDMA_READ_RESPONSE_ONLY,
+        )
+
+
+_DATA_OPCODES = frozenset(
+    {
+        Opcode.SEND_FIRST,
+        Opcode.SEND_MIDDLE,
+        Opcode.SEND_LAST,
+        Opcode.SEND_ONLY,
+        Opcode.RDMA_WRITE_FIRST,
+        Opcode.RDMA_WRITE_MIDDLE,
+        Opcode.RDMA_WRITE_LAST,
+        Opcode.RDMA_WRITE_ONLY,
+        Opcode.RDMA_READ_RESPONSE_FIRST,
+        Opcode.RDMA_READ_RESPONSE_MIDDLE,
+        Opcode.RDMA_READ_RESPONSE_LAST,
+        Opcode.RDMA_READ_RESPONSE_ONLY,
+    }
+)
+
+
+class AethSyndrome(IntEnum):
+    """AETH syndrome high bits: ACK vs NAK classes (IB spec 9.7.5.2.4)."""
+
+    ACK = 0b000
+    RNR_NAK = 0b001
+    NAK = 0b011
+
+    @staticmethod
+    def encode(kind: "AethSyndrome", code: int = 0) -> int:
+        """Build the 8-bit syndrome field from class + 5-bit code/credit."""
+        if not 0 <= code <= 0x1F:
+            raise ValueError(f"syndrome code out of range: {code}")
+        return (int(kind) << 5) | code
+
+    @staticmethod
+    def decode(syndrome: int) -> tuple:
+        """Split the 8-bit syndrome into (class, code)."""
+        return AethSyndrome((syndrome >> 5) & 0x7), syndrome & 0x1F
+
+
+#: NAK code for a PSN sequence error (the Go-back-N NAK).
+NAK_PSN_SEQUENCE_ERROR = 0
+
+
+@dataclass
+class EthernetHeader:
+    """Ethernet II header. MACs are 48-bit integers."""
+
+    dst_mac: int = 0
+    src_mac: int = 0
+    ethertype: int = ETHERTYPE_IPV4
+
+    def pack(self) -> bytes:
+        return (
+            self.dst_mac.to_bytes(6, "big")
+            + self.src_mac.to_bytes(6, "big")
+            + struct.pack("!H", self.ethertype)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < ETH_HEADER_LEN:
+            raise ValueError("truncated Ethernet header")
+        return cls(
+            dst_mac=int.from_bytes(data[0:6], "big"),
+            src_mac=int.from_bytes(data[6:12], "big"),
+            ethertype=struct.unpack("!H", data[12:14])[0],
+        )
+
+    def copy(self) -> "EthernetHeader":
+        return EthernetHeader(self.dst_mac, self.src_mac, self.ethertype)
+
+
+@dataclass
+class Ipv4Header:
+    """IPv4 header (no options). ``total_length`` covers IP header + payload."""
+
+    src_ip: int = 0
+    dst_ip: int = 0
+    total_length: int = IPV4_HEADER_LEN
+    ttl: int = 64
+    protocol: int = IPPROTO_UDP
+    dscp: int = 0
+    ecn: int = ECN_ECT0
+    identification: int = 0
+
+    def pack(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        tos = ((self.dscp & 0x3F) << 2) | (self.ecn & 0x3)
+        return struct.pack(
+            "!BBHHHBBHII",
+            version_ihl,
+            tos,
+            self.total_length,
+            self.identification,
+            0,  # flags + fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # header checksum (not modelled; iCRC covers integrity)
+            self.src_ip,
+            self.dst_ip,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ipv4Header":
+        if len(data) < IPV4_HEADER_LEN:
+            raise ValueError("truncated IPv4 header")
+        (version_ihl, tos, total_length, identification, _frag, ttl, protocol,
+         _csum, src_ip, dst_ip) = struct.unpack("!BBHHHBBHII", data[:IPV4_HEADER_LEN])
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        return cls(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            total_length=total_length,
+            ttl=ttl,
+            protocol=protocol,
+            dscp=tos >> 2,
+            ecn=tos & 0x3,
+            identification=identification,
+        )
+
+    def copy(self) -> "Ipv4Header":
+        return Ipv4Header(
+            self.src_ip, self.dst_ip, self.total_length, self.ttl,
+            self.protocol, self.dscp, self.ecn, self.identification,
+        )
+
+
+@dataclass
+class UdpHeader:
+    """UDP header. RoCEv2 uses destination port 4791."""
+
+    src_port: int = 0
+    dst_port: int = 4791
+    length: int = UDP_HEADER_LEN
+
+    def pack(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        if len(data) < UDP_HEADER_LEN:
+            raise ValueError("truncated UDP header")
+        src_port, dst_port, length, _csum = struct.unpack("!HHHH", data[:UDP_HEADER_LEN])
+        return cls(src_port=src_port, dst_port=dst_port, length=length)
+
+    def copy(self) -> "UdpHeader":
+        return UdpHeader(self.src_port, self.dst_port, self.length)
+
+
+@dataclass
+class BaseTransportHeader:
+    """IB Base Transport Header (BTH), 12 bytes.
+
+    Byte 1 carries SE (solicited event), **M (MigReq)** — the field at
+    the heart of the CX5/E810 interoperability bug (§6.2.3) — pad count
+    and transport version. The A bit (ack request) lives in byte 8.
+    """
+
+    opcode: Opcode = Opcode.SEND_ONLY
+    solicited: bool = False
+    migreq: bool = True
+    pad_count: int = 0
+    pkey: int = 0xFFFF
+    dest_qp: int = 0
+    ack_request: bool = False
+    psn: int = 0
+    # FECN-equivalent bit: RoCEv2 carries congestion in IP.ECN, but the
+    # BTH reserved byte is kept for layout fidelity.
+    becn: bool = False
+
+    def pack(self) -> bytes:
+        byte1 = (
+            (int(self.solicited) << 7)
+            | (int(self.migreq) << 6)
+            | ((self.pad_count & 0x3) << 4)
+            | 0x0  # transport version
+        )
+        resv = int(self.becn) << 6
+        return struct.pack(
+            "!BBHB3sB3s",
+            int(self.opcode),
+            byte1,
+            self.pkey,
+            resv,
+            (self.dest_qp & 0xFFFFFF).to_bytes(3, "big"),
+            int(self.ack_request) << 7,
+            (self.psn & 0xFFFFFF).to_bytes(3, "big"),
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "BaseTransportHeader":
+        if len(data) < BTH_LEN:
+            raise ValueError("truncated BTH")
+        opcode, byte1, pkey, resv, dqp, abyte, psn = struct.unpack(
+            "!BBHB3sB3s", data[:BTH_LEN]
+        )
+        return cls(
+            opcode=Opcode(opcode),
+            solicited=bool(byte1 & 0x80),
+            migreq=bool(byte1 & 0x40),
+            pad_count=(byte1 >> 4) & 0x3,
+            pkey=pkey,
+            dest_qp=int.from_bytes(dqp, "big"),
+            ack_request=bool(abyte & 0x80),
+            psn=int.from_bytes(psn, "big"),
+            becn=bool(resv & 0x40),
+        )
+
+    def copy(self) -> "BaseTransportHeader":
+        return BaseTransportHeader(
+            self.opcode, self.solicited, self.migreq, self.pad_count,
+            self.pkey, self.dest_qp, self.ack_request, self.psn, self.becn,
+        )
+
+
+@dataclass
+class RdmaExtendedHeader:
+    """RETH: virtual address, rkey and DMA length (Write / Read request)."""
+
+    virtual_address: int = 0
+    rkey: int = 0
+    dma_length: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack("!QII", self.virtual_address, self.rkey, self.dma_length)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "RdmaExtendedHeader":
+        if len(data) < RETH_LEN:
+            raise ValueError("truncated RETH")
+        va, rkey, dma_len = struct.unpack("!QII", data[:RETH_LEN])
+        return cls(virtual_address=va, rkey=rkey, dma_length=dma_len)
+
+    def copy(self) -> "RdmaExtendedHeader":
+        return RdmaExtendedHeader(self.virtual_address, self.rkey, self.dma_length)
+
+
+@dataclass
+class AckExtendedHeader:
+    """AETH: syndrome + MSN, carried by ACK/NAK and read-response packets."""
+
+    syndrome: int = 0
+    msn: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack("!B3s", self.syndrome, (self.msn & 0xFFFFFF).to_bytes(3, "big"))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "AckExtendedHeader":
+        if len(data) < AETH_LEN:
+            raise ValueError("truncated AETH")
+        syndrome, msn = struct.unpack("!B3s", data[:AETH_LEN])
+        return cls(syndrome=syndrome, msn=int.from_bytes(msn, "big"))
+
+    @property
+    def is_ack(self) -> bool:
+        kind, _ = AethSyndrome.decode(self.syndrome)
+        return kind == AethSyndrome.ACK
+
+    @property
+    def is_nak(self) -> bool:
+        kind, _ = AethSyndrome.decode(self.syndrome)
+        return kind == AethSyndrome.NAK
+
+    @property
+    def is_rnr(self) -> bool:
+        kind, _ = AethSyndrome.decode(self.syndrome)
+        return kind == AethSyndrome.RNR_NAK
+
+    @classmethod
+    def ack(cls, msn: int = 0) -> "AckExtendedHeader":
+        return cls(syndrome=AethSyndrome.encode(AethSyndrome.ACK, 0x1F), msn=msn)
+
+    @classmethod
+    def rnr_nak(cls, timer_code: int = 1, msn: int = 0) -> "AckExtendedHeader":
+        """Receiver-not-ready NAK: no receive WQE for an inbound Send."""
+        return cls(syndrome=AethSyndrome.encode(AethSyndrome.RNR_NAK, timer_code),
+                   msn=msn)
+
+    @classmethod
+    def nak_sequence_error(cls, msn: int = 0) -> "AckExtendedHeader":
+        return cls(
+            syndrome=AethSyndrome.encode(AethSyndrome.NAK, NAK_PSN_SEQUENCE_ERROR),
+            msn=msn,
+        )
+
+    def copy(self) -> "AckExtendedHeader":
+        return AckExtendedHeader(self.syndrome, self.msn)

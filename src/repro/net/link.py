@@ -1,0 +1,146 @@
+"""Links, ports and nodes — the physical substrate of the testbed.
+
+A :class:`Port` models a full-duplex NIC/switch port. Its transmit side
+serialises one packet at a time at the port's line rate and applies the
+cable's propagation delay; an optional bounded egress buffer tail-drops
+when full (and counts the drops, which the integrity check reads).
+
+Bandwidths are bits/second, delays are nanoseconds, sizes are bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .packet import Packet
+
+__all__ = ["Node", "Port", "connect", "gbps"]
+
+
+def gbps(value: float) -> int:
+    """Convert Gbit/s to bits/s."""
+    return int(value * 1_000_000_000)
+
+
+class Node:
+    """Anything with ports: a host NIC, the switch, a dumper server."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.ports: list = []
+
+    def add_port(self, bandwidth_bps: int, queue_bytes: Optional[int] = None,
+                 name: Optional[str] = None) -> "Port":
+        port = Port(
+            self.sim,
+            self,
+            index=len(self.ports),
+            bandwidth_bps=bandwidth_bps,
+            queue_bytes=queue_bytes,
+            name=name or f"{self.name}.p{len(self.ports)}",
+        )
+        self.ports.append(port)
+        return port
+
+    def handle_packet(self, port: "Port", packet: "Packet") -> None:
+        """Called when a packet arrives on ``port``. Subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Port:
+    """One side of a full-duplex link."""
+
+    def __init__(self, sim: Simulator, node: Node, index: int,
+                 bandwidth_bps: int, queue_bytes: Optional[int], name: str):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.node = node
+        self.index = index
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.queue_bytes = queue_bytes
+        self.peer: Optional["Port"] = None
+        self.propagation_delay_ns = 0
+        # Transmit-side state: the time the serialiser frees up, and how
+        # many bytes are committed but not yet on the wire (the queue).
+        self._tx_free_at = 0
+        self._queued_bytes = 0
+        # Counters (read by the orchestrator's integrity check).
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_drops = 0
+        # Optional tap invoked for every packet that leaves this port
+        # (test hooks and the switch's egress counter block use this).
+        self.tx_tap: Optional[Callable[["Packet"], None]] = None
+
+    # ------------------------------------------------------------------
+    def serialization_delay_ns(self, size_bytes: int) -> int:
+        """Time to clock ``size_bytes`` onto the wire at line rate."""
+        return (size_bytes * 8 * 1_000_000_000 + self.bandwidth_bps - 1) // self.bandwidth_bps
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes committed to the egress buffer but not yet transmitted."""
+        return self._queued_bytes
+
+    def send(self, packet: "Packet") -> bool:
+        """Transmit ``packet`` to the peer port.
+
+        Returns False (and counts a drop) if the bounded egress buffer
+        would overflow. Delivery happens after queueing + serialisation
+        + propagation delay; the peer node's ``handle_packet`` runs then.
+        """
+        if self.peer is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        now = self.sim.now
+        if self._tx_free_at <= now:
+            self._queued_bytes = 0  # queue fully drained in the meantime
+        if self.queue_bytes is not None and self._queued_bytes + packet.size > self.queue_bytes:
+            self.tx_drops += 1
+            return False
+        start = max(now, self._tx_free_at)
+        ser = self.serialization_delay_ns(packet.size)
+        self._tx_free_at = start + ser
+        self._queued_bytes += packet.size
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        if self.tx_tap is not None:
+            self.tx_tap(packet)
+        arrival = self._tx_free_at + self.propagation_delay_ns
+        self.sim.schedule_at(arrival, self._deliver, packet)
+        return True
+
+    def _deliver(self, packet: "Packet") -> None:
+        self._queued_bytes = max(0, self._queued_bytes - packet.size)
+        peer = self.peer
+        assert peer is not None
+        peer.rx_packets += 1
+        peer.rx_bytes += packet.size
+        peer.node.handle_packet(peer, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.name} {self.bandwidth_bps / 1e9:.0f}Gbps>"
+
+
+def connect(a: Port, b: Port, propagation_delay_ns: int = 500) -> None:
+    """Wire two ports together with a cable of the given one-way delay.
+
+    The 500 ns default approximates ~100 m of fibre — the scale of a
+    rack-to-switch run in the paper's testbed.
+    """
+    if a.peer is not None or b.peer is not None:
+        raise RuntimeError("port already connected")
+    a.peer = b
+    b.peer = a
+    a.propagation_delay_ns = propagation_delay_ns
+    b.propagation_delay_ns = propagation_delay_ns

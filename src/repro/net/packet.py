@@ -1,0 +1,204 @@
+"""The in-simulation packet object.
+
+A :class:`Packet` carries parsed header objects plus a *virtual* payload
+(only its length is tracked — Lumina never needs payload contents, which
+is exactly why the real tool trims dumps to 128 bytes). ``pack()``
+produces genuine wire bytes for the headers so dumper records and
+analyzers work on the same representation the real system uses.
+
+Mirror metadata (§3.4) is embedded by *rewriting header fields* of the
+mirrored copy, exactly as the paper does:
+
+==================  =========================  =======================
+Metadata            Field reused               Accessor
+==================  =========================  =======================
+event type          IPv4 TTL                   ``mirror_event_type``
+mirror sequence     Ethernet source MAC        ``mirror_seq``
+mirror timestamp    Ethernet destination MAC   ``mirror_timestamp_ns``
+==================  =========================  =======================
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .checksum import icrc_for
+from .headers import (
+    AckExtendedHeader,
+    BaseTransportHeader,
+    EthernetHeader,
+    ETH_HEADER_LEN,
+    ICRC_LEN,
+    Ipv4Header,
+    IPV4_HEADER_LEN,
+    Opcode,
+    RdmaExtendedHeader,
+    UDP_HEADER_LEN,
+    UdpHeader,
+    BTH_LEN,
+    RETH_LEN,
+    AETH_LEN,
+)
+
+__all__ = ["Packet", "EventType"]
+
+_packet_ids = itertools.count(1)
+
+
+class EventType:
+    """Injected-event codes embedded in mirrored packets' TTL field."""
+
+    NONE = 0
+    ECN = 1
+    DROP = 2
+    CORRUPT = 3
+    REWRITE = 4  # field rewrite, e.g. the MigReq fix-up action (§6.2.3)
+    # §7 lists quantitative delay and packet reordering as planned
+    # extensions; both are implemented here.
+    DELAY = 5
+    REORDER = 6
+
+    NAMES = {NONE: "none", ECN: "ecn", DROP: "drop", CORRUPT: "corrupt",
+             REWRITE: "rewrite", DELAY: "delay", REORDER: "reorder"}
+
+
+@dataclass
+class Packet:
+    """A simulated RoCEv2 (or plain L2/L3) packet."""
+
+    eth: EthernetHeader = field(default_factory=EthernetHeader)
+    ip: Optional[Ipv4Header] = None
+    udp: Optional[UdpHeader] = None
+    bth: Optional[BaseTransportHeader] = None
+    reth: Optional[RdmaExtendedHeader] = None
+    aeth: Optional[AckExtendedHeader] = None
+    payload_len: int = 0
+    #: False once the event injector corrupts the packet: the receiving
+    #: RNIC's iCRC validation will fail and the packet is discarded.
+    icrc_ok: bool = True
+    #: Unique id for tracing/debugging inside the simulation only.
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: True on mirrored copies (set by the switch mirror block).
+    is_mirror: bool = False
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def header_len(self) -> int:
+        size = ETH_HEADER_LEN
+        if self.ip is not None:
+            size += IPV4_HEADER_LEN
+        if self.udp is not None:
+            size += UDP_HEADER_LEN
+        if self.bth is not None:
+            size += BTH_LEN
+        if self.reth is not None:
+            size += RETH_LEN
+        if self.aeth is not None:
+            size += AETH_LEN
+        return size
+
+    @property
+    def size(self) -> int:
+        """Total wire size in bytes (headers + payload + iCRC trailer)."""
+        size = self.header_len + self.payload_len
+        if self.bth is not None:
+            size += ICRC_LEN
+        return size
+
+    @property
+    def is_roce(self) -> bool:
+        return self.bth is not None
+
+    @property
+    def opcode(self) -> Optional[Opcode]:
+        return self.bth.opcode if self.bth is not None else None
+
+    @property
+    def psn(self) -> Optional[int]:
+        return self.bth.psn if self.bth is not None else None
+
+    @property
+    def dest_qp(self) -> Optional[int]:
+        return self.bth.dest_qp if self.bth is not None else None
+
+    # ------------------------------------------------------------------
+    # Wire representation
+    # ------------------------------------------------------------------
+    def pack_headers(self) -> bytes:
+        """Serialise all headers to wire bytes (no payload, no iCRC)."""
+        data = self.eth.pack()
+        if self.ip is not None:
+            data += self.ip.pack()
+        if self.udp is not None:
+            data += self.udp.pack()
+        if self.bth is not None:
+            data += self.bth.pack()
+        if self.reth is not None:
+            data += self.reth.pack()
+        if self.aeth is not None:
+            data += self.aeth.pack()
+        return data
+
+    def icrc(self) -> int:
+        """iCRC over transport headers + virtual payload.
+
+        Returns a value that will not match the recomputed CRC when the
+        packet has been corrupted in flight (``icrc_ok`` is False).
+        """
+        transport = b""
+        if self.bth is not None:
+            transport += self.bth.pack()
+        if self.reth is not None:
+            transport += self.reth.pack()
+        if self.aeth is not None:
+            transport += self.aeth.pack()
+        value = icrc_for(transport, self.payload_len)
+        if not self.icrc_ok:
+            value ^= 0xDEADBEEF  # any bit flip invalidates the CRC
+        return value
+
+    def copy(self) -> "Packet":
+        """Deep copy with a fresh packet id (used by the mirror block)."""
+        return Packet(
+            eth=self.eth.copy(),
+            ip=self.ip.copy() if self.ip is not None else None,
+            udp=self.udp.copy() if self.udp is not None else None,
+            bth=self.bth.copy() if self.bth is not None else None,
+            reth=self.reth.copy() if self.reth is not None else None,
+            aeth=self.aeth.copy() if self.aeth is not None else None,
+            payload_len=self.payload_len,
+            icrc_ok=self.icrc_ok,
+            is_mirror=self.is_mirror,
+        )
+
+    # ------------------------------------------------------------------
+    # Mirror metadata accessors (decode the rewritten header fields)
+    # ------------------------------------------------------------------
+    @property
+    def mirror_event_type(self) -> int:
+        """Injected-event code stored in the TTL field of a mirrored copy."""
+        if self.ip is None:
+            raise ValueError("mirror metadata requires an IP header")
+        return self.ip.ttl
+
+    @property
+    def mirror_seq(self) -> int:
+        """Global mirror sequence number stored in the source MAC."""
+        return self.eth.src_mac
+
+    @property
+    def mirror_timestamp_ns(self) -> int:
+        """Switch ingress timestamp (ns) stored in the destination MAC."""
+        return self.eth.dst_mac
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.bth is None:
+            return f"<Packet #{self.packet_id} L2 size={self.size}>"
+        return (
+            f"<Packet #{self.packet_id} {self.bth.opcode.name} "
+            f"qp={self.bth.dest_qp:#x} psn={self.bth.psn} size={self.size}>"
+        )

@@ -1,0 +1,55 @@
+"""Behavioural RoCEv2 RNIC model — the hardware network stack under test."""
+
+from .counters import NicCounters, CANONICAL_COUNTERS
+from .dcqcn import CnpRateLimiter, DcqcnParams, DcqcnRp
+from .ets import EtsQueueConfig, EtsScheduler
+from .nic import RdmaNic
+from .profiles import (
+    CX4_LX,
+    CX5,
+    CX6_DX,
+    E810,
+    IDEAL,
+    PROFILES,
+    CnpLimitMode,
+    RnicProfile,
+    get_profile,
+)
+from .qp import QpState, QueuePair, PSN_MASK
+from .verbs import (
+    CompletionQueue,
+    MemoryRegion,
+    Verb,
+    WcStatus,
+    WorkCompletion,
+    WorkRequest,
+)
+
+__all__ = [
+    "NicCounters",
+    "CANONICAL_COUNTERS",
+    "CnpRateLimiter",
+    "DcqcnParams",
+    "DcqcnRp",
+    "EtsQueueConfig",
+    "EtsScheduler",
+    "RdmaNic",
+    "CX4_LX",
+    "CX5",
+    "CX6_DX",
+    "E810",
+    "IDEAL",
+    "PROFILES",
+    "CnpLimitMode",
+    "RnicProfile",
+    "get_profile",
+    "QpState",
+    "QueuePair",
+    "PSN_MASK",
+    "CompletionQueue",
+    "MemoryRegion",
+    "Verb",
+    "WcStatus",
+    "WorkCompletion",
+    "WorkRequest",
+]

@@ -1,0 +1,133 @@
+"""Verbs-layer objects: work requests, completions and completion queues.
+
+Mirrors the slice of libibverbs the paper's traffic generator uses
+(§3.2, §5): RC transport, Send/Recv, Write and Read verbs, completion
+queues polled by the application, and memory regions with rkeys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional
+
+__all__ = [
+    "Verb",
+    "WorkRequest",
+    "WcStatus",
+    "WorkCompletion",
+    "CompletionQueue",
+    "MemoryRegion",
+]
+
+_wr_ids = itertools.count(1)
+_mr_keys = itertools.count(0x1000)
+
+
+class Verb(str, Enum):
+    """RDMA verbs supported by the traffic generator."""
+
+    SEND = "send"
+    WRITE = "write"
+    READ = "read"
+
+    @property
+    def data_from_responder(self) -> bool:
+        """True when the responder generates the data packets (§3.3).
+
+        For Read the responder streams the data back; for Send/Write the
+        requester does — which decides the direction the event injector
+        must target.
+        """
+        return self is Verb.READ
+
+
+class WcStatus(str, Enum):
+    """Completion status codes (subset of ibv_wc_status)."""
+
+    SUCCESS = "success"
+    RETRY_EXC_ERR = "retry_exceeded"
+    WR_FLUSH_ERR = "flushed"
+
+
+@dataclass
+class MemoryRegion:
+    """A registered memory region; only its geometry matters here."""
+
+    address: int
+    length: int
+    rkey: int = field(default_factory=lambda: next(_mr_keys))
+
+    def contains(self, address: int, length: int) -> bool:
+        return self.address <= address and address + length <= self.address + self.length
+
+
+@dataclass
+class WorkRequest:
+    """One posted unit of work on a QP's send queue."""
+
+    verb: Verb
+    length: int
+    wr_id: int = field(default_factory=lambda: next(_wr_ids))
+    remote_address: int = 0
+    remote_rkey: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("work request length must be positive")
+
+
+@dataclass
+class WorkCompletion:
+    """A completion entry delivered to the CQ when a WR finishes."""
+
+    wr_id: int
+    verb: Verb
+    status: WcStatus
+    qp_num: int
+    length: int
+    #: Simulation timestamps for MCT accounting (ns).
+    posted_at: int = 0
+    completed_at: int = 0
+
+    @property
+    def completion_time_ns(self) -> int:
+        return self.completed_at - self.posted_at
+
+
+class CompletionQueue:
+    """A completion queue with optional notification callback.
+
+    The traffic generator either polls (:meth:`poll`) or registers a
+    callback; both interfaces exist because the requester's barrier
+    logic is callback-driven while tests prefer polling.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("CQ capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[WorkCompletion] = []
+        self._callback: Optional[Callable[[WorkCompletion], None]] = None
+        self.overflows = 0
+
+    def on_completion(self, callback: Optional[Callable[[WorkCompletion], None]]) -> None:
+        """Register (or clear) a callback invoked on every new entry."""
+        self._callback = callback
+
+    def push(self, wc: WorkCompletion) -> None:
+        if len(self._entries) >= self.capacity:
+            self.overflows += 1
+            return
+        self._entries.append(wc)
+        if self._callback is not None:
+            self._callback(wc)
+
+    def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
+        """Remove and return up to ``max_entries`` completions."""
+        taken, self._entries = self._entries[:max_entries], self._entries[max_entries:]
+        return taken
+
+    def __len__(self) -> int:
+        return len(self._entries)

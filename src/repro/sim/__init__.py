@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate (engine, processes, seeded RNG)."""
+
+from .engine import Event, Simulator, SimulationError, US, MS, SEC
+from .process import Process, Signal, Timeout, spawn, all_of
+from .rng import SimRandom
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "US",
+    "MS",
+    "SEC",
+    "Process",
+    "Signal",
+    "Timeout",
+    "spawn",
+    "all_of",
+    "SimRandom",
+]

@@ -1,0 +1,153 @@
+"""Discrete-event simulation engine.
+
+Everything in the reproduction runs on this engine: links, switch
+pipelines, RNIC models, traffic generators and dumpers all schedule
+callbacks on a single :class:`Simulator`. Time is kept as an integer
+number of nanoseconds so runs are exactly reproducible — there is no
+floating-point drift and no dependence on wall-clock time.
+
+The engine is deliberately small: a binary heap of timestamped events,
+a monotonically increasing sequence number to break ties determinist-
+ically, and cancellation support. Coroutine-style processes are layered
+on top in :mod:`repro.sim.process`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+#: One microsecond expressed in engine ticks (nanoseconds).
+US = 1_000
+#: One millisecond expressed in engine ticks.
+MS = 1_000_000
+#: One second expressed in engine ticks.
+SEC = 1_000_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Returned by :meth:`Simulator.schedule` so callers can cancel pending
+    work (e.g. a retransmission timer that is defused by an ACK).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} fn={getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with nanosecond resolution.
+
+    Events scheduled for the same tick fire in scheduling order (FIFO),
+    which makes multi-component models reproducible without explicit
+    tie-breaking by the caller.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for diagnostics)."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback
+        after all callbacks already queued for the current tick.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        event = Event(self._now + int(delay), next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        event = Event(int(time), next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time when the run stopped. ``until`` is an
+        absolute time; the clock is advanced to ``until`` even if the
+        queue drains earlier, mirroring how a testbed run has a fixed
+        wall-clock window.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        budget = max_events if max_events is not None else float("inf")
+        try:
+            while self._queue and budget > 0:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fn(*event.args)
+                self._processed += 1
+                budget -= 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration: int) -> int:
+        """Run for ``duration`` ns of simulated time from now."""
+        return self.run(until=self._now + int(duration))
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0
+        self._processed = 0

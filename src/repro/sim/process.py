@@ -1,0 +1,145 @@
+"""Coroutine-style processes on top of the event engine.
+
+The traffic generators are easiest to express as sequential programs
+("post N requests, wait for completions, synchronise, repeat"), so this
+module provides a generator-based process abstraction similar in spirit
+to SimPy: a process is a Python generator that yields *waitables* —
+:class:`Timeout`, :class:`Signal` or another :class:`Process` — and is
+resumed by the engine when the waitable completes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from .engine import Simulator
+
+__all__ = ["Timeout", "Signal", "Process", "spawn"]
+
+
+class Timeout:
+    """Waitable that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int):
+        if delay < 0:
+            raise ValueError("timeout delay must be >= 0")
+        self.delay = int(delay)
+
+
+class Signal:
+    """A broadcast waitable: processes wait on it; ``fire`` resumes them all.
+
+    The value passed to :meth:`fire` is delivered as the result of the
+    ``yield``. A signal can be fired once; later waits complete
+    immediately with the stored value (like a resolved future).
+    """
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._fired = False
+        self._value: Any = None
+        self._waiters: List["Process"] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Resume every waiting process with ``value``."""
+        if self._fired:
+            return
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim.schedule(0, proc._resume, value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._fired:
+            self._sim.schedule(0, proc._resume, self._value)
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """Wraps a generator and steps it through the simulator.
+
+    The generator's ``return`` value becomes the process result; other
+    processes that ``yield`` this process resume with that result.
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "proc"):
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self._completion = Signal(sim)
+        sim.schedule(0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        try:
+            waitable = self._gen.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            self._completion.fire(stop.value)
+            return
+        self._wait_on(waitable)
+
+    def _wait_on(self, waitable: Any) -> None:
+        if isinstance(waitable, Timeout):
+            self._sim.schedule(waitable.delay, self._resume, None)
+        elif isinstance(waitable, Signal):
+            waitable._add_waiter(self)
+        elif isinstance(waitable, Process):
+            waitable._completion._add_waiter(self)
+        else:
+            raise TypeError(f"process {self.name!r} yielded {waitable!r}; "
+                            "expected Timeout, Signal or Process")
+
+    @property
+    def completion(self) -> Signal:
+        """Signal fired (with the result) when the process finishes."""
+        return self._completion
+
+
+def spawn(sim: Simulator, gen: Generator, name: str = "proc") -> Process:
+    """Start ``gen`` as a process on ``sim`` and return its handle."""
+    return Process(sim, gen, name=name)
+
+
+def all_of(sim: Simulator, procs: List[Process]) -> Signal:
+    """Signal that fires once every process in ``procs`` has finished.
+
+    The signal's value is the list of individual results in order. Used
+    by the requester for barrier synchronisation across QPs (§3.2).
+    """
+    barrier = Signal(sim)
+    remaining = [len(procs)]
+    if not procs:
+        barrier.fire([])
+        return barrier
+
+    def _one_done(proc: Process) -> None:
+        def _cb(gen_inner=None):
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                barrier.fire([p.result for p in procs])
+        # Wait via a tiny shim process so Signal semantics stay uniform.
+        def _shim():
+            yield proc
+            _cb()
+        spawn(sim, _shim(), name=f"join-{proc.name}")
+
+    for p in procs:
+        _one_done(p)
+    return barrier

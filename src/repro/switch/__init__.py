@@ -1,0 +1,22 @@
+"""Programmable-switch model: the event injector and mirror (§3.3–§3.4)."""
+
+from .controlplane import SwitchController
+from .events import EventAction, EventEntry, RewriteRule
+from .itertrack import ConnState, IterTracker
+from .mirror import MirrorBlock, MirrorTarget
+from .pipeline import PIPELINE_STAGES, TofinoSwitch
+from .tables import MatchActionTable
+
+__all__ = [
+    "SwitchController",
+    "EventAction",
+    "EventEntry",
+    "RewriteRule",
+    "ConnState",
+    "IterTracker",
+    "MirrorBlock",
+    "MirrorTarget",
+    "PIPELINE_STAGES",
+    "TofinoSwitch",
+    "MatchActionTable",
+]

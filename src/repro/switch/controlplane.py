@@ -1,0 +1,55 @@
+"""Switch control plane: the RPC surface the orchestrator talks to.
+
+The real prototype runs a Python control plane on the switch CPU that
+translates orchestrator RPCs into table writes and dumps port counters
+after the experiment (§5). This wrapper provides the same narrow
+interface so the orchestrator never touches data-plane objects directly
+— which also documents exactly which operations a real deployment
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .events import EventEntry, RewriteRule
+from .pipeline import TofinoSwitch
+
+__all__ = ["SwitchController"]
+
+
+class SwitchController:
+    """Control-plane handle for one event injector."""
+
+    def __init__(self, switch: TofinoSwitch):
+        self._switch = switch
+        self.rpc_log: List[str] = []
+
+    def install_events(self, entries: Iterable[EventEntry]) -> int:
+        """Populate the event match-action table; returns entries added."""
+        count = 0
+        for entry in entries:
+            self._switch.install_event(entry)
+            count += 1
+        self.rpc_log.append(f"install_events({count})")
+        return count
+
+    def install_rewrite(self, rule: RewriteRule) -> None:
+        self._switch.install_rewrite(rule)
+        self.rpc_log.append(f"install_rewrite({rule.field_name}={rule.value})")
+
+    def clear_events(self) -> None:
+        self._switch.clear_events()
+        self.rpc_log.append("clear_events()")
+
+    def dump_counters(self) -> Dict[str, object]:
+        self.rpc_log.append("dump_counters()")
+        return self._switch.dump_counters()
+
+    @property
+    def event_table_occupancy(self) -> int:
+        return len(self._switch.event_table)
+
+    @property
+    def mirrored_packets(self) -> int:
+        return self._switch.mirror.mirrored_packets

@@ -1,0 +1,107 @@
+"""Ingress mirroring with metadata embedding and per-packet load balancing.
+
+Every RoCE packet is cloned at the ingress pipeline — *before* any drop
+takes effect — and the clone is sent to a traffic-dumper port. Three
+pieces of metadata are embedded by rewriting header fields the analysis
+does not otherwise need (§3.4):
+
+* IPv4 TTL            ← event type code
+* Ethernet source MAC ← global mirror sequence number (48-bit)
+* Ethernet dest MAC   ← ingress hardware timestamp, ns (48-bit)
+
+To spread load across dumper CPU cores the UDP destination port (4791)
+is rewritten to a pseudo-random value, creating the illusion of many
+flows for RSS; dumpers restore it when writing records to disk. Dumper
+ports are chosen by smooth weighted round-robin so a pool of unequal
+servers is loaded proportionally to capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net.link import Port
+from ..net.packet import EventType, Packet
+from ..sim.rng import SimRandom
+
+__all__ = ["MirrorBlock", "MirrorTarget"]
+
+_MASK48 = 0xFFFFFFFFFFFF
+
+
+@dataclass
+class MirrorTarget:
+    """One dumper-facing switch port with a WRR weight."""
+
+    port: Port
+    weight: int = 1
+    current: int = 0  # smooth-WRR running credit
+    packets: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("mirror target weight must be positive")
+
+
+class MirrorBlock:
+    """The switch's mirroring stage."""
+
+    def __init__(self, rng: SimRandom, randomize_udp_port: bool = True):
+        self._rng = rng.child("mirror")
+        self.randomize_udp_port = randomize_udp_port
+        self._targets: List[MirrorTarget] = []
+        self.mirror_seq = 0          # next sequence number to assign
+        self.mirrored_packets = 0
+
+    def add_target(self, port: Port, weight: int = 1) -> None:
+        self._targets.append(MirrorTarget(port=port, weight=weight))
+
+    @property
+    def targets(self) -> List[MirrorTarget]:
+        return list(self._targets)
+
+    def _pick_target(self) -> MirrorTarget:
+        """Smooth weighted round-robin (nginx-style)."""
+        assert self._targets, "mirror block has no dumper targets"
+        total = 0
+        best: Optional[MirrorTarget] = None
+        for target in self._targets:
+            target.current += target.weight
+            total += target.weight
+            if best is None or target.current > best.current:
+                best = target
+        assert best is not None
+        best.current -= total
+        return best
+
+    def mirror(self, packet: Packet, now_ns: int, event_code: int) -> Optional[Packet]:
+        """Clone, stamp and transmit the mirrored copy.
+
+        Returns the clone (for tests), or None when no dumper ports are
+        configured (mirroring disabled).
+        """
+        if not self._targets:
+            return None
+        clone = packet.copy()
+        clone.is_mirror = True
+        # A dropped or corrupted original must still be dumped intact.
+        clone.icrc_ok = True
+        clone.ip.ttl = event_code & 0xFF
+        clone.eth.src_mac = self.mirror_seq & _MASK48
+        clone.eth.dst_mac = now_ns & _MASK48
+        if self.randomize_udp_port and clone.udp is not None:
+            clone.udp.dst_port = self._rng.randint(1024, 65535)
+        self.mirror_seq += 1
+        self.mirrored_packets += 1
+        target = self._pick_target()
+        target.packets += 1
+        target.port.send(clone)
+        return clone
+
+    def reset(self) -> None:
+        self.mirror_seq = 0
+        self.mirrored_packets = 0
+        for target in self._targets:
+            target.current = 0
+            target.packets = 0

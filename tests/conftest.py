@@ -1,0 +1,109 @@
+"""Shared fixtures and cached scenario runner for the test suite.
+
+Many tests inspect different aspects of the same simulated scenario;
+``run_scenario`` memoises full test runs by their parameters so the
+suite stays fast without sharing mutable state between tests (results
+are treated as read-only).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import pytest
+
+from repro.core.config import (
+    DataPacketEvent,
+    DumperPoolConfig,
+    HostConfig,
+    RoceParameters,
+    SwitchConfig,
+    TestConfig,
+    TrafficConfig,
+)
+from repro.core.orchestrator import run_test
+from repro.core.results import TestResult
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRandom
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> SimRandom:
+    return SimRandom(1234)
+
+
+@lru_cache(maxsize=None)
+def _run_cached(nic: str, nic_responder: str, verb: str, num_connections: int,
+                num_msgs: int, message_size: int, mtu: int,
+                events: Tuple[DataPacketEvent, ...], seed: int,
+                barrier_sync: bool, tx_depth: int,
+                timeout_cfg: int, retry_cnt: int,
+                adaptive: bool, rp_enable: bool, np_enable: bool,
+                cnp_interval_us: int, num_dumpers: int,
+                event_injection: bool, mirroring: bool,
+                max_duration_ms: int) -> TestResult:
+    roce = RoceParameters(
+        dcqcn_rp_enable=rp_enable,
+        dcqcn_np_enable=np_enable,
+        min_time_between_cnps_us=cnp_interval_us,
+        adaptive_retrans=adaptive,
+    )
+    config = TestConfig(
+        requester=HostConfig(nic_type=nic, ip_list=("10.0.0.1/24",), roce=roce),
+        responder=HostConfig(nic_type=nic_responder or nic,
+                             ip_list=("10.0.0.2/24",), roce=roce),
+        traffic=TrafficConfig(
+            num_connections=num_connections,
+            rdma_verb=verb,
+            num_msgs_per_qp=num_msgs,
+            message_size=message_size,
+            mtu=mtu,
+            barrier_sync=barrier_sync,
+            tx_depth=tx_depth,
+            min_retransmit_timeout=timeout_cfg,
+            max_retransmit_retry=retry_cnt,
+            data_pkt_events=events,
+        ),
+        dumpers=DumperPoolConfig(num_servers=num_dumpers),
+        switch=SwitchConfig(event_injection=event_injection, mirroring=mirroring),
+        seed=seed,
+        max_duration_ns=max_duration_ms * 1_000_000,
+    )
+    return run_test(config)
+
+
+def run_scenario(nic: str = "ideal", verb: str = "write",
+                 num_connections: int = 1, num_msgs: int = 3,
+                 message_size: int = 4096, mtu: int = 1024,
+                 events: Tuple[DataPacketEvent, ...] = (), seed: int = 1,
+                 nic_responder: str = "", barrier_sync: bool = True,
+                 tx_depth: int = 1, timeout_cfg: int = 14, retry_cnt: int = 7,
+                 adaptive: bool = False, rp_enable: bool = True,
+                 np_enable: bool = True, cnp_interval_us: int = 4,
+                 num_dumpers: int = 2, event_injection: bool = True,
+                 mirroring: bool = True,
+                 max_duration_ms: int = 20_000) -> TestResult:
+    """Run (or fetch the cached result of) a standard two-host test."""
+    return _run_cached(nic, nic_responder, verb, num_connections, num_msgs,
+                       message_size, mtu, tuple(events), seed, barrier_sync,
+                       tx_depth, timeout_cfg, retry_cnt, adaptive, rp_enable,
+                       np_enable, cnp_interval_us, num_dumpers,
+                       event_injection, mirroring, max_duration_ms)
+
+
+def drop(qpn: int = 1, psn: int = 2, iteration: int = 1) -> DataPacketEvent:
+    return DataPacketEvent(qpn=qpn, psn=psn, type="drop", iter=iteration)
+
+
+def ecn(qpn: int = 1, psn: int = 2, iteration: int = 1) -> DataPacketEvent:
+    return DataPacketEvent(qpn=qpn, psn=psn, type="ecn", iter=iteration)
+
+
+def corrupt(qpn: int = 1, psn: int = 2, iteration: int = 1) -> DataPacketEvent:
+    return DataPacketEvent(qpn=qpn, psn=psn, type="corrupt", iter=iteration)

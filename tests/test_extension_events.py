@@ -1,0 +1,113 @@
+"""Tests for the §7 extension events: quantitative delay and reordering."""
+
+import pytest
+
+from conftest import run_scenario
+from repro.core.config import ConfigError, DataPacketEvent
+from repro.net.packet import EventType
+from repro.switch.events import EventEntry
+
+
+def delay_event(psn=2, delay_us=20.0, qpn=1):
+    return DataPacketEvent(qpn=qpn, psn=psn, type="delay", delay_us=delay_us)
+
+
+def reorder_event(psn=2, qpn=1):
+    return DataPacketEvent(qpn=qpn, psn=psn, type="reorder")
+
+
+class TestConfigValidation:
+    def test_delay_requires_positive_delay(self):
+        with pytest.raises(ConfigError):
+            DataPacketEvent(qpn=1, psn=1, type="delay")
+
+    def test_delay_us_rejected_on_other_types(self):
+        with pytest.raises(ConfigError):
+            DataPacketEvent(qpn=1, psn=1, type="drop", delay_us=5)
+
+    def test_from_dict_with_delay(self):
+        event = DataPacketEvent.from_dict(
+            {"qpn": 1, "psn": 3, "type": "delay", "delay-us": 12.5})
+        assert event.delay_us == 12.5
+
+    def test_entry_validation(self):
+        with pytest.raises(ValueError):
+            EventEntry(1, 2, 3, 4, 1, "delay")  # missing delay_ns
+        with pytest.raises(ValueError):
+            EventEntry(1, 2, 3, 4, 1, "drop", delay_ns=100)
+
+
+class TestDelayInjection:
+    def _result(self, delay_us=20.0):
+        return run_scenario(nic="cx5", verb="write", num_msgs=2,
+                            message_size=4096,
+                            events=(delay_event(delay_us=delay_us),), seed=3)
+
+    def test_delayed_packet_marked_in_trace(self):
+        result = self._result()
+        delayed = [p for p in result.trace
+                   if p.event_type == EventType.DELAY]
+        assert len(delayed) == 1
+        assert result.switch_counters["delayed_by_event"] == 1
+
+    def test_delay_reorders_the_stream(self):
+        # 20 µs is far longer than the remaining packets' serialisation,
+        # so the delayed packet arrives after its successors: the
+        # responder sees OOO and NAKs, then the late original arrives.
+        result = self._result()
+        assert result.responder_counters["out_of_sequence"] >= 1
+        assert len(result.trace.naks()) >= 1
+
+    def test_no_packet_is_lost(self):
+        result = self._result()
+        assert result.integrity.ok
+        assert all(m.ok for m in result.traffic_log.all_messages)
+        # The delayed packet is never dropped, only late.
+        assert result.switch_counters["dropped_by_event"] == 0
+
+    def test_short_delay_is_harmless(self):
+        # A delay shorter than the inter-packet gap does not reorder.
+        result = run_scenario(nic="ideal", verb="write", num_msgs=2,
+                              message_size=4096,
+                              events=(delay_event(delay_us=0.01),), seed=3)
+        assert result.responder_counters["out_of_sequence"] == 0
+        assert all(m.ok for m in result.traffic_log.all_messages)
+
+
+class TestReorderInjection:
+    def _result(self, **kwargs):
+        return run_scenario(nic="cx5", verb="write", num_msgs=2,
+                            message_size=4096,
+                            events=(reorder_event(),), seed=3, **kwargs)
+
+    def test_reorder_swaps_adjacent_packets(self):
+        result = self._result()
+        data = result.trace.data_packets()
+        # Wire order (mirror order is ingress order; the swap happens at
+        # egress): mirrored stream still shows the original order, but
+        # the responder observed the swap.
+        assert result.switch_counters["reordered_by_event"] == 1
+        assert result.responder_counters["out_of_sequence"] >= 1
+        assert data, "sanity"
+
+    def test_recovery_by_nak_and_duplicate(self):
+        result = self._result()
+        assert len(result.trace.naks()) >= 1
+        assert all(m.ok for m in result.traffic_log.all_messages)
+        assert result.integrity.ok
+
+    def test_reorder_on_last_packet_released_by_timeout(self):
+        # No successor on the connection: the safety timer releases the
+        # held packet so nothing is lost.
+        result = run_scenario(nic="cx5", verb="write", num_msgs=1,
+                              message_size=4096,
+                              events=(reorder_event(psn=4),), seed=3)
+        assert all(m.ok for m in result.traffic_log.all_messages)
+        assert result.switch_counters["dropped_by_event"] == 0
+
+    def test_reorder_read_responses(self):
+        result = run_scenario(nic="cx5", verb="read", num_msgs=2,
+                              message_size=4096,
+                              events=(reorder_event(psn=2),), seed=4)
+        assert all(m.ok for m in result.traffic_log.all_messages)
+        assert result.requester_counters["implied_nak_seq_err"] >= 1

@@ -1,0 +1,62 @@
+"""Tests for the predefined fuzzing targets (§4's general vs specific)."""
+
+import pytest
+
+from repro.core.fuzz import TARGETS, make_fuzzer
+
+
+class TestTargetRegistry:
+    def test_known_targets(self):
+        assert set(TARGETS) == {"general", "noisy-neighbor", "counter-bugs"}
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(KeyError):
+            make_fuzzer("quantum", "cx5")
+
+    def test_pools_are_valid_configs(self):
+        for target in TARGETS.values():
+            pool = target.initial_pool()
+            assert pool, target.name
+            for traffic in pool:
+                assert traffic.num_connections >= 1  # constructed = valid
+
+    def test_specific_targets_weight_their_objective(self):
+        noisy = TARGETS["noisy-neighbor"].weights
+        counter = TARGETS["counter-bugs"].weights
+        assert noisy.innocent_inflation > noisy.counter_inconsistency
+        assert counter.counter_inconsistency > counter.innocent_inflation
+
+    def test_make_fuzzer_uses_target_pool(self):
+        fuzzer, target = make_fuzzer("noisy-neighbor", "cx4", seed=9)
+        assert len(fuzzer.pool) == len(target.initial_pool())
+        assert fuzzer.anomaly_threshold == target.anomaly_threshold
+
+
+class TestTargetedSearch:
+    def test_counter_target_finds_e810_bug(self):
+        fuzzer, _ = make_fuzzer("counter-bugs", "e810", seed=7)
+        report = fuzzer.run(iterations=25)
+        assert report.found_anomaly
+        assert any("counter" in a for a in report.best.score.anomalies)
+
+    def test_counter_target_quiet_on_cx5(self):
+        fuzzer, _ = make_fuzzer("counter-bugs", "cx5", seed=7)
+        report = fuzzer.run(iterations=10)
+        assert not report.found_anomaly
+
+    def test_noisy_target_finds_cx4_bug(self):
+        fuzzer, _ = make_fuzzer("noisy-neighbor", "cx4", seed=9)
+        report = fuzzer.run(iterations=8, stop_on_first=True)
+        assert report.found_anomaly
+        best = report.best
+        assert any("innocent" in a or "discarded" in a
+                   for a in best.score.anomalies)
+        # The trigger involves drops across many connections.
+        drops = {e.qpn for e in best.config.traffic.data_pkt_events
+                 if e.type == "drop"}
+        assert len(drops) >= 12
+
+    def test_noisy_target_quiet_on_cx6(self):
+        fuzzer, _ = make_fuzzer("noisy-neighbor", "cx6", seed=9)
+        report = fuzzer.run(iterations=6)
+        assert not report.found_anomaly

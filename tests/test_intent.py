@@ -1,0 +1,125 @@
+"""Unit tests for intent translation (Fig. 2) and periodic-ECN expansion."""
+
+import pytest
+
+from repro.core.config import ConfigError, DataPacketEvent, PeriodicEcnIntent, TrafficConfig
+from repro.core.intent import QpMetadata, expand_periodic_events, translate_events
+from repro.net.addressing import ip_to_int
+from repro.rdma.verbs import Verb
+
+
+def metadata(index=1, verb=Verb.WRITE, req_ipsn=1001, resp_ipsn=3002):
+    return QpMetadata(
+        index=index,
+        requester_ip=ip_to_int("10.0.0.1"),
+        requester_qpn=0xFE,
+        requester_ipsn=req_ipsn,
+        responder_ip=ip_to_int("10.0.0.2"),
+        responder_qpn=0xEA,
+        responder_ipsn=resp_ipsn,
+        verb=verb,
+    )
+
+
+class TestFig2Example:
+    def test_paper_example_translation(self):
+        # Fig. 2: requester 10.0.0.1/0xfe/1001, responder 10.0.0.2/0xea/
+        # 3002, intent "4th packet of QP 1" => entry (10.0.0.1, 10.0.0.2,
+        # 0xea, 1004).
+        entries = translate_events(
+            [metadata()],
+            [DataPacketEvent(qpn=1, psn=4, type="ecn")],
+        )
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.src_ip == ip_to_int("10.0.0.1")
+        assert entry.dst_ip == ip_to_int("10.0.0.2")
+        assert entry.dst_qpn == 0xEA
+        assert entry.psn == 1004
+        assert entry.action == "ecn"
+        assert entry.iteration == 1
+
+
+class TestDirections:
+    def test_write_data_flows_requester_to_responder(self):
+        src, dst, qpn = metadata(verb=Verb.WRITE).data_direction()
+        assert src == ip_to_int("10.0.0.1")
+        assert dst == ip_to_int("10.0.0.2")
+        assert qpn == 0xEA
+
+    def test_send_matches_write(self):
+        assert metadata(verb=Verb.SEND).data_direction() == \
+               metadata(verb=Verb.WRITE).data_direction()
+
+    def test_read_data_flows_responder_to_requester(self):
+        # §3.3: for Read the responder generates the data packets.
+        src, dst, qpn = metadata(verb=Verb.READ).data_direction()
+        assert src == ip_to_int("10.0.0.2")
+        assert dst == ip_to_int("10.0.0.1")
+        assert qpn == 0xFE
+
+    def test_read_psn_still_uses_requester_space(self):
+        # Read responses reuse the request's PSN range.
+        meta = metadata(verb=Verb.READ, req_ipsn=500)
+        entries = translate_events([meta],
+                                   [DataPacketEvent(qpn=1, psn=3, type="drop")])
+        assert entries[0].psn == 502
+
+
+class TestPsnArithmetic:
+    def test_first_packet_is_ipsn(self):
+        assert metadata().absolute_data_psn(1) == 1001
+
+    def test_relative_offsets(self):
+        assert metadata().absolute_data_psn(100) == 1100
+
+    def test_wraparound(self):
+        meta = metadata(req_ipsn=0xFFFFFF)
+        assert meta.absolute_data_psn(1) == 0xFFFFFF
+        assert meta.absolute_data_psn(2) == 0
+
+    def test_zero_relative_rejected(self):
+        with pytest.raises(ValueError):
+            metadata().absolute_data_psn(0)
+
+
+class TestMultiConnection:
+    def test_events_map_to_their_connection(self):
+        metas = [metadata(index=1), metadata(index=2, req_ipsn=7000)]
+        entries = translate_events(metas, [
+            DataPacketEvent(qpn=1, psn=4, type="ecn"),
+            DataPacketEvent(qpn=2, psn=5, type="drop"),
+            DataPacketEvent(qpn=2, psn=5, type="drop", iter=2),
+        ])
+        assert entries[0].psn == 1004
+        assert entries[1].psn == 7004
+        assert entries[2].psn == 7004
+        assert entries[2].iteration == 2
+
+    def test_unknown_connection_rejected(self):
+        with pytest.raises(ConfigError):
+            translate_events([metadata()],
+                             [DataPacketEvent(qpn=3, psn=1, type="drop")])
+
+
+class TestPeriodicExpansion:
+    def test_every_50th_packet(self):
+        traffic = TrafficConfig(num_connections=2, message_size=102400,
+                                mtu=1024, num_msgs_per_qp=2)  # 200 packets
+        events = expand_periodic_events(traffic, [PeriodicEcnIntent(qpn=1, period=50)])
+        assert [e.psn for e in events] == [1, 51, 101, 151]
+        assert all(e.type == "ecn" and e.qpn == 1 for e in events)
+
+    def test_start_offset(self):
+        traffic = TrafficConfig(message_size=10240, mtu=1024)  # 100 packets
+        events = expand_periodic_events(traffic,
+                                     [PeriodicEcnIntent(qpn=1, period=40, start=10)])
+        assert [e.psn for e in events] == [10, 50, 90]
+
+    def test_empty_intents(self):
+        assert expand_periodic_events(TrafficConfig(), []) == []
+
+    def test_period_longer_than_stream(self):
+        traffic = TrafficConfig(message_size=1024, num_msgs_per_qp=1)
+        events = expand_periodic_events(traffic, [PeriodicEcnIntent(qpn=1, period=50)])
+        assert [e.psn for e in events] == [1]

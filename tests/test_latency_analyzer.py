@@ -1,0 +1,112 @@
+"""Tests for the latency analyzer and the trace formatter."""
+
+from conftest import drop, run_scenario
+from repro.core.analyzers import (
+    ack_rtt_samples,
+    read_service_samples,
+    stream_rate_bps,
+    summarize,
+)
+from repro.core.trace import format_trace
+
+
+class TestAckRtt:
+    def test_one_sample_per_message(self):
+        result = run_scenario(nic="ideal", verb="write", num_msgs=5,
+                              message_size=4096)
+        samples = ack_rtt_samples(result.trace)
+        assert len(samples) == 1  # one connection
+        values = next(iter(samples.values()))
+        assert len(values) == 5
+
+    def test_rtt_magnitude_matches_testbed(self):
+        # switch->host propagation 500 ns each way + RX pipeline + ACK
+        # generation (~1 µs each on the ideal profile): a few µs total.
+        result = run_scenario(nic="ideal", verb="write", num_msgs=5,
+                              message_size=4096)
+        values = next(iter(ack_rtt_samples(result.trace).values()))
+        assert all(2_000 < v < 10_000 for v in values)
+
+    def test_per_connection_separation(self):
+        result = run_scenario(nic="ideal", verb="write", num_connections=3,
+                              num_msgs=2, message_size=4096)
+        samples = ack_rtt_samples(result.trace)
+        assert len(samples) == 3
+        assert all(len(v) == 2 for v in samples.values())
+
+    def test_rtt_useful_for_deviation_correction(self):
+        # §4: "pre-measuring the RTT of the testbed" compensates the
+        # half-RTT deviation of switch-side timestamps.
+        result = run_scenario(nic="cx5", verb="write", num_msgs=5,
+                              message_size=4096)
+        values = next(iter(ack_rtt_samples(result.trace).values()))
+        summary = summarize(values)
+        assert summary is not None
+        assert summary.count == 5
+        assert summary.min_ns <= summary.mean_ns <= summary.max_ns
+
+    def test_summarize_empty(self):
+        assert summarize([]) is None
+
+
+class TestReadService:
+    def test_one_sample_per_read(self):
+        result = run_scenario(nic="ideal", verb="read", num_msgs=4,
+                              message_size=4096)
+        samples = read_service_samples(result.trace)
+        assert len(samples) == 4
+        assert all(s > 0 for s in samples)
+
+    def test_no_reads_no_samples(self):
+        result = run_scenario(nic="ideal", verb="write", num_msgs=2,
+                              message_size=4096)
+        assert read_service_samples(result.trace) == []
+
+
+class TestStreamRate:
+    def test_line_rate_stream(self):
+        result = run_scenario(nic="cx5", verb="write", num_msgs=5,
+                              message_size=102400, barrier_sync=False,
+                              tx_depth=4)
+        conn = result.trace.connections()[0]
+        rate = stream_rate_bps(result.trace, conn)
+        assert rate is not None
+        # Payload rate at ~100 Gbps line rate (headers excluded).
+        assert 70e9 < rate < 100e9
+
+    def test_too_few_packets(self):
+        result = run_scenario(nic="cx5", verb="write", num_msgs=1,
+                              message_size=512)
+        conn = result.trace.connections()[0]
+        assert stream_rate_bps(result.trace, conn) is None
+
+
+class TestFormatTrace:
+    def test_contains_key_fields(self):
+        result = run_scenario(nic="cx5", verb="write", num_msgs=2,
+                              message_size=4096, events=(drop(psn=2),), seed=5)
+        text = format_trace(result.trace)
+        assert "RDMA_WRITE_FIRST" in text
+        assert "[DROP]" in text
+        assert " NAK" in text
+        assert "iter=2" in text
+        assert "10.0.0.1" in text
+
+    def test_limit_truncates(self):
+        result = run_scenario(nic="cx5", verb="write", num_msgs=3,
+                              message_size=4096)
+        text = format_trace(result.trace, limit=5)
+        assert len(text.splitlines()) == 6  # 5 packets + "more" line
+        assert "more packets" in text
+
+    def test_connection_filter(self):
+        result = run_scenario(nic="ideal", verb="write", num_connections=2,
+                              num_msgs=1, message_size=2048)
+        conn = result.trace.connections()[0]
+        text = format_trace(result.trace, conn_key=conn)
+        assert all("WRITE" in line for line in text.splitlines())
+
+    def test_empty_trace(self):
+        from repro.core.trace import reconstruct_trace
+
+        assert format_trace(reconstruct_trace([])) == ""

@@ -1,0 +1,144 @@
+"""Unit tests for ports, links and serialization timing."""
+
+import pytest
+
+from repro.net.link import Node, connect, gbps
+from repro.net.packet import Packet
+
+
+class Sink(Node):
+    def __init__(self, sim, name="sink"):
+        super().__init__(sim, name)
+        self.received = []
+
+    def handle_packet(self, port, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def wire(sim, bandwidth=gbps(100), delay=500, queue_bytes=None):
+    a = Sink(sim, "a")
+    b = Sink(sim, "b")
+    pa = a.add_port(bandwidth, queue_bytes=queue_bytes)
+    pb = b.add_port(bandwidth)
+    connect(pa, pb, propagation_delay_ns=delay)
+    return a, b, pa, pb
+
+
+class TestGbps:
+    def test_conversion(self):
+        assert gbps(100) == 100_000_000_000
+        assert gbps(40) == 40_000_000_000
+        assert gbps(0.5) == 500_000_000
+
+
+class TestSerialization:
+    def test_delay_formula(self, sim):
+        _, _, pa, _ = wire(sim, bandwidth=gbps(100))
+        # 1250 bytes * 8 bits = 10000 bits @ 100 Gbps = 100 ns
+        assert pa.serialization_delay_ns(1250) == 100
+
+    def test_delay_rounds_up(self, sim):
+        _, _, pa, _ = wire(sim, bandwidth=gbps(100))
+        assert pa.serialization_delay_ns(1) == 1  # 0.08 ns rounds up
+
+    def test_delivery_time_includes_serialization_and_propagation(self, sim):
+        _, b, pa, _ = wire(sim, bandwidth=gbps(100), delay=500)
+        pa.send(Packet(payload_len=1236))  # size 1250 -> 100 ns serialization
+        sim.run()
+        assert b.received[0][0] == 100 + 500
+
+    def test_back_to_back_packets_queue_behind_each_other(self, sim):
+        _, b, pa, _ = wire(sim, bandwidth=gbps(100), delay=0)
+        for _ in range(3):
+            pa.send(Packet(payload_len=1236))  # 100 ns each
+        sim.run()
+        times = [t for t, _ in b.received]
+        assert times == [100, 200, 300]
+
+    def test_full_duplex_is_independent(self, sim):
+        a, b, pa, pb = wire(sim, delay=100)
+        pa.send(Packet(payload_len=986))   # 1000B -> 80 ns
+        pb.send(Packet(payload_len=986))
+        sim.run()
+        assert len(a.received) == 1
+        assert len(b.received) == 1
+
+
+class TestQueueing:
+    def test_bounded_queue_drops_when_full(self, sim):
+        _, b, pa, _ = wire(sim, bandwidth=gbps(1), queue_bytes=3000)
+        for _ in range(5):
+            pa.send(Packet(payload_len=986))  # 1000 B each
+        sim.run()
+        assert len(b.received) == 3
+        assert pa.tx_drops == 2
+
+    def test_queue_drains_over_time(self, sim):
+        _, b, pa, _ = wire(sim, bandwidth=gbps(1), queue_bytes=2000)
+        pa.send(Packet(payload_len=986))
+        pa.send(Packet(payload_len=986))
+        sim.run()
+        # After draining, new packets are accepted again.
+        assert pa.send(Packet(payload_len=986))
+        sim.run()
+        assert len(b.received) == 3
+
+    def test_unbounded_queue_never_drops(self, sim):
+        _, b, pa, _ = wire(sim, bandwidth=gbps(1))
+        for _ in range(100):
+            assert pa.send(Packet(payload_len=986))
+        sim.run()
+        assert len(b.received) == 100
+
+
+class TestCounters:
+    def test_tx_rx_counters(self, sim):
+        _, _, pa, pb = wire(sim)
+        packet = Packet(payload_len=100)
+        pa.send(packet)
+        sim.run()
+        assert pa.tx_packets == 1
+        assert pa.tx_bytes == packet.size
+        assert pb.rx_packets == 1
+        assert pb.rx_bytes == packet.size
+
+    def test_tx_tap_sees_every_packet(self, sim):
+        _, _, pa, _ = wire(sim)
+        seen = []
+        pa.tx_tap = seen.append
+        pa.send(Packet(payload_len=10))
+        pa.send(Packet(payload_len=20))
+        assert len(seen) == 2
+
+
+class TestWiring:
+    def test_send_on_unconnected_port_raises(self, sim):
+        node = Sink(sim)
+        port = node.add_port(gbps(10))
+        with pytest.raises(RuntimeError):
+            port.send(Packet())
+
+    def test_double_connect_raises(self, sim):
+        a, b, pa, pb = wire(sim)
+        c = Sink(sim, "c")
+        pc = c.add_port(gbps(10))
+        with pytest.raises(RuntimeError):
+            connect(pa, pc)
+
+    def test_invalid_bandwidth_rejected(self, sim):
+        node = Sink(sim)
+        with pytest.raises(ValueError):
+            node.add_port(0)
+
+    def test_base_node_handle_packet_abstract(self, sim):
+        node = Node(sim, "n")
+        with pytest.raises(NotImplementedError):
+            node.handle_packet(None, Packet())
+
+    def test_port_naming(self, sim):
+        node = Sink(sim, "host")
+        port = node.add_port(gbps(10))
+        assert port.name == "host.p0"
+        named = node.add_port(gbps(10), name="custom")
+        assert named.name == "custom"
+        assert named.index == 1

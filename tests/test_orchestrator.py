@@ -1,0 +1,130 @@
+"""Integration tests for the orchestrator and result collection."""
+
+import pytest
+
+from conftest import drop, run_scenario
+from repro import quick_config
+from repro.core.config import TestConfig, TrafficConfig, HostConfig, DataPacketEvent
+from repro.core.orchestrator import Orchestrator, run_test
+from repro.core.testbed import build_testbed
+
+
+class TestQuickConfig:
+    def test_defaults(self):
+        config = quick_config()
+        assert config.requester.nic_type == "cx5"
+        assert config.traffic.rdma_verb == "write"
+
+    def test_drop_psn_inserts_event(self):
+        config = quick_config(drop_psn=5)
+        assert len(config.traffic.data_pkt_events) == 1
+        assert config.traffic.data_pkt_events[0].psn == 5
+
+    def test_asymmetric_nics(self):
+        config = quick_config(nic="e810", nic_responder="cx5")
+        assert config.requester.nic_type == "e810"
+        assert config.responder.nic_type == "cx5"
+
+
+class TestTestbedBuilder:
+    def test_topology_shape(self):
+        testbed = build_testbed(quick_config())
+        # Two host ports + two dumper ports on the switch.
+        assert len(testbed.switch.ports) == 4
+        assert len(testbed.dumpers.servers) == 2
+        assert testbed.requester.nic.port.peer is not None
+        assert testbed.responder.nic.port.peer is not None
+
+    def test_arp_fully_populated(self):
+        testbed = build_testbed(quick_config())
+        for host in (testbed.requester, testbed.responder):
+            for ip in (testbed.requester.ips + testbed.responder.ips):
+                assert host.nic.resolve_mac(ip) != 0xFFFFFFFFFFFF
+
+    def test_cx4_gets_40gbps_port(self):
+        testbed = build_testbed(quick_config(nic="cx4"))
+        assert testbed.requester.nic.port.bandwidth_bps == 40_000_000_000
+
+    def test_bandwidth_override(self):
+        config = quick_config()
+        config = type(config)(
+            requester=HostConfig(nic_type="cx5", ip_list=("10.0.0.1/24",),
+                                 bandwidth_gbps=25),
+            responder=config.responder, traffic=config.traffic,
+            dumpers=config.dumpers, switch=config.switch, seed=1)
+        testbed = build_testbed(config)
+        assert testbed.requester.nic.port.bandwidth_bps == 25_000_000_000
+
+
+class TestResultCollection:
+    def test_table1_artifacts_present(self):
+        # Table 1: dumped packets, NIC counters, traffic log, switch
+        # counters.
+        result = run_scenario(verb="write", num_msgs=2, message_size=2048)
+        assert len(result.trace) > 0
+        assert result.requester_counters.canonical["tx_packets"] > 0
+        assert result.responder_counters.canonical["rx_packets"] > 0
+        assert result.traffic_log.all_messages
+        assert result.switch_counters["roce_rx_packets"] > 0
+        assert result.duration_ns > 0
+
+    def test_vendor_counter_names_in_snapshot(self):
+        result = run_scenario(nic="cx5", verb="write", num_msgs=1,
+                              message_size=1024)
+        assert "np_cnp_sent" in result.responder_counters.vendor
+        e810 = run_scenario(nic="e810", verb="write", num_msgs=1,
+                            message_size=1024)
+        assert "cnpSent" in e810.responder_counters.vendor
+
+    def test_counters_for_accessor(self):
+        result = run_scenario(verb="write", num_msgs=1, message_size=1024)
+        assert result.counters_for("requester").host == "requester"
+        with pytest.raises(KeyError):
+            result.counters_for("bystander")
+
+    def test_metadata_for_accessor(self):
+        result = run_scenario(verb="write", num_connections=2, num_msgs=1,
+                              message_size=1024)
+        assert result.metadata_for(2).index == 2
+        with pytest.raises(KeyError):
+            result.metadata_for(5)
+
+    def test_summary_is_printable(self):
+        result = run_scenario(verb="write", num_msgs=2, message_size=2048)
+        text = result.summary()
+        assert "integrity" in text
+        assert "goodput" in text
+
+    def test_suppressed_visible_for_stuck_counters(self):
+        result = run_scenario(nic="e810", verb="write", num_msgs=2,
+                              message_size=4096,
+                              events=(DataPacketEvent(1, 3, "ecn"),), seed=9)
+        assert result.responder_counters.suppressed.get("cnp_sent", 0) == 1
+        assert result.responder_counters.canonical["cnp_sent"] == 0
+
+
+class TestDurationCap:
+    def test_wedged_run_is_bounded(self):
+        # Drop every round of a tail packet with a huge timeout: the cap
+        # must end the run and mark the log finished.
+        events = tuple(DataPacketEvent(1, 4, "drop", iter=i)
+                       for i in range(1, 10))
+        config = TestConfig(
+            requester=HostConfig(nic_type="cx5", ip_list=("10.0.0.1/24",)),
+            responder=HostConfig(nic_type="cx5", ip_list=("10.0.0.2/24",)),
+            traffic=TrafficConfig(num_connections=1, num_msgs_per_qp=1,
+                                  message_size=4096,
+                                  min_retransmit_timeout=20,
+                                  data_pkt_events=events),
+            seed=2,
+            max_duration_ns=50_000_000,  # 50 ms << 4.3 s timeout
+        )
+        result = run_test(config)
+        assert result.duration_ns <= 60_000_000
+        assert result.traffic_log.finished_at > 0
+
+    def test_event_table_populated_before_traffic(self):
+        orchestrator = Orchestrator(quick_config(drop_psn=2))
+        orchestrator.setup()
+        assert orchestrator.testbed.switch_controller.event_table_occupancy == 1
+        assert orchestrator.testbed.sim.now == 0

@@ -1,0 +1,161 @@
+"""Property-based tests for the congestion/scheduling mechanisms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdma.dcqcn import CnpRateLimiter, DcqcnParams, DcqcnRp
+from repro.rdma.ets import EtsQueueConfig, EtsScheduler
+from repro.rdma.profiles import CX4_LX, CX5, E810
+from repro.sim.engine import Simulator, US
+from repro.switch.events import ANY_ITERATION, EventEntry
+from repro.switch.tables import MatchActionTable
+
+
+class TestCnpLimiterInvariants:
+    @given(gaps=st.lists(st.integers(0, 20_000), min_size=1, max_size=60),
+           interval_us=st.integers(1, 50))
+    def test_allowed_cnps_never_violate_interval(self, gaps, interval_us):
+        limiter = CnpRateLimiter(CX5, configured_interval_ns=interval_us * US)
+        now = 0
+        allowed_times = []
+        for gap in gaps:
+            now += gap
+            if limiter.allow(now, qp_num=1, src_ip=1):
+                allowed_times.append(now)
+        for a, b in zip(allowed_times, allowed_times[1:]):
+            assert b - a >= interval_us * US
+
+    @given(events=st.lists(
+        st.tuples(st.integers(0, 5_000), st.integers(1, 3), st.integers(1, 3)),
+        min_size=1, max_size=80))
+    def test_per_qp_scope_isolates_queues(self, events):
+        limiter = CnpRateLimiter(E810)  # per-QP, 50 µs hidden floor
+        now = 0
+        per_qp = {}
+        for gap, qp, ip in events:
+            now += gap
+            if limiter.allow(now, qp_num=qp, src_ip=ip):
+                per_qp.setdefault(qp, []).append(now)
+        for times in per_qp.values():
+            for a, b in zip(times, times[1:]):
+                assert b - a >= 50 * US
+
+    @given(events=st.lists(
+        st.tuples(st.integers(0, 3_000), st.integers(1, 4)),
+        min_size=1, max_size=80))
+    def test_per_ip_scope_keys_by_destination(self, events):
+        limiter = CnpRateLimiter(CX4_LX, configured_interval_ns=4 * US)
+        now = 0
+        per_ip = {}
+        for gap, ip in events:
+            now += gap
+            if limiter.allow(now, qp_num=ip * 100, src_ip=ip):
+                per_ip.setdefault(ip, []).append(now)
+        for times in per_ip.values():
+            for a, b in zip(times, times[1:]):
+                assert b - a >= 4 * US
+
+
+class TestDcqcnInvariants:
+    @given(actions=st.lists(st.sampled_from(["cnp", "bytes", "time"]),
+                            min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_rate_always_within_bounds(self, actions):
+        sim = Simulator()
+        params = DcqcnParams(min_rate_bps=1_000_000)
+        rp = DcqcnRp(sim, line_rate_bps=100_000_000_000, params=params)
+        for action in actions:
+            if action == "cnp":
+                rp.handle_cnp()
+            elif action == "bytes":
+                rp.on_bytes_sent(2 * params.byte_counter_bytes)
+            else:
+                sim.run_for(params.increase_timer_ns)
+            assert params.min_rate_bps <= rp.rate_bps <= rp.line_rate_bps
+            assert rp.target_rate_bps <= rp.line_rate_bps
+
+    @given(cuts=st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_recovery_is_monotone_after_last_cut(self, cuts):
+        sim = Simulator()
+        rp = DcqcnRp(sim, line_rate_bps=100_000_000_000)
+        for _ in range(cuts):
+            rp.handle_cnp()
+        last = rp.rate_bps
+        for _ in range(20):
+            sim.run_for(rp.params.increase_timer_ns)
+            assert rp.rate_bps >= last
+            last = rp.rate_bps
+
+
+class TestEtsInvariants:
+    class _Qp:
+        def __init__(self, ready_at=0):
+            self.ready_at = ready_at
+            self.ets_queue_index = 0
+
+        def has_pending_tx(self):
+            return True
+
+        @property
+        def pacing_ready_at(self):
+            return self.ready_at
+
+    @given(ready_ats=st.lists(st.integers(0, 10_000), min_size=1,
+                              max_size=8),
+           now=st.integers(0, 10_000))
+    def test_selected_qp_is_always_eligible(self, ready_ats, now):
+        sched = EtsScheduler(100_000_000_000)
+        qps = [self._Qp(r) for r in ready_ats]
+        for qp in qps:
+            sched.assign(qp, 0)
+        picked, next_time = sched.select(now)
+        if picked is not None:
+            assert picked.pacing_ready_at <= now
+        else:
+            assert next_time == min(ready_ats)
+            assert next_time > now
+
+    @given(sizes=st.lists(st.integers(64, 9000), min_size=2, max_size=40))
+    def test_virtual_time_is_monotone(self, sizes):
+        sched = EtsScheduler(100_000_000_000)
+        sched.configure([EtsQueueConfig(0, 1.0)])
+        qp = self._Qp()
+        sched.assign(qp, 0)
+        last_finish = 0.0
+        now = 0
+        for size in sizes:
+            sched.account(qp, now, size)
+            finish = sched._queues[0].virtual_finish
+            assert finish >= last_finish
+            last_finish = finish
+            now += 100
+
+
+class TestWildcardTableProperties:
+    @given(psns=st.lists(st.integers(0, 50), min_size=1, max_size=60,
+                         unique=True),
+           lookups=st.lists(st.tuples(st.integers(0, 50), st.integers(1, 4)),
+                            min_size=1, max_size=100))
+    def test_budgeted_wildcards_fire_at_most_once(self, psns, lookups):
+        table = MatchActionTable()
+        for psn in psns:
+            table.install(EventEntry(1, 2, 3, psn, ANY_ITERATION, "drop",
+                                     max_hits=1))
+        fired = {}
+        for psn, iteration in lookups:
+            if table.lookup(1, 2, 3, psn, iteration) is not None:
+                fired[psn] = fired.get(psn, 0) + 1
+        assert all(count == 1 for count in fired.values())
+        assert set(fired) <= set(psns)
+
+    @given(data=st.lists(st.tuples(st.integers(0, 20), st.integers(1, 3)),
+                         min_size=1, max_size=50, unique=True))
+    def test_exact_entries_fire_only_on_their_iteration(self, data):
+        table = MatchActionTable()
+        for psn, iteration in data:
+            table.install(EventEntry(1, 2, 3, psn, iteration, "ecn"))
+        for psn, iteration in data:
+            assert table.lookup(1, 2, 3, psn, iteration) is not None
+            wrong = iteration + 1
+            if (psn, wrong) not in data:
+                assert table.lookup(1, 2, 3, psn, wrong) is None

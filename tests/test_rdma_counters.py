@@ -1,0 +1,108 @@
+"""Unit tests for NIC counters and the stuck-counter bug model."""
+
+import pytest
+
+from repro.rdma.counters import CANONICAL_COUNTERS, NicCounters
+from repro.rdma.profiles import CX4_LX, E810
+
+
+class TestBasicCounting:
+    def test_all_counters_start_at_zero(self):
+        counters = NicCounters()
+        assert all(v == 0 for v in counters.snapshot().values())
+
+    def test_incr_default_one(self):
+        counters = NicCounters()
+        counters.incr("tx_packets")
+        assert counters["tx_packets"] == 1
+
+    def test_incr_amount(self):
+        counters = NicCounters()
+        counters.incr("tx_bytes", 1500)
+        counters.incr("tx_bytes", 500)
+        assert counters["tx_bytes"] == 2000
+
+    def test_unknown_counter_rejected(self):
+        counters = NicCounters()
+        with pytest.raises(KeyError):
+            counters.incr("made_up")
+        with pytest.raises(KeyError):
+            counters["made_up"]
+
+    def test_negative_increment_rejected(self):
+        counters = NicCounters()
+        with pytest.raises(ValueError):
+            counters.incr("tx_packets", -1)
+
+    def test_get_with_default(self):
+        counters = NicCounters()
+        assert counters.get("tx_packets") == 0
+        assert counters.get("missing", 42) == 42
+
+    def test_delta(self):
+        counters = NicCounters()
+        counters.incr("rx_packets", 5)
+        before = counters.snapshot()
+        counters.incr("rx_packets", 3)
+        assert counters.delta(before)["rx_packets"] == 3
+
+
+class TestStuckCounters:
+    def test_stuck_counter_never_increments(self):
+        counters = NicCounters(stuck=frozenset({"cnp_sent"}))
+        counters.incr("cnp_sent", 10)
+        assert counters["cnp_sent"] == 0
+
+    def test_suppressed_tracks_ground_truth(self):
+        counters = NicCounters(stuck=frozenset({"cnp_sent"}))
+        counters.incr("cnp_sent", 10)
+        assert counters.suppressed("cnp_sent") == 10
+
+    def test_other_counters_unaffected(self):
+        counters = NicCounters(stuck=frozenset({"cnp_sent"}))
+        counters.incr("cnp_handled", 2)
+        assert counters["cnp_handled"] == 2
+
+    def test_unknown_stuck_counter_rejected(self):
+        with pytest.raises(ValueError):
+            NicCounters(stuck=frozenset({"bogus"}))
+
+    def test_e810_profile_sticks_cnp_sent(self):
+        # The §6.2.4 cnpSent bug as configured in the vendor profile.
+        assert "cnp_sent" in E810.stuck_counters
+
+    def test_cx4_profile_sticks_implied_nak(self):
+        assert "implied_nak_seq_err" in CX4_LX.stuck_counters
+
+
+class TestVendorNaming:
+    def test_vendor_snapshot_renames(self):
+        counters = NicCounters(vendor_names={"cnp_sent": "np_cnp_sent"})
+        counters.incr("cnp_sent")
+        snap = counters.vendor_snapshot()
+        assert snap["np_cnp_sent"] == 1
+        assert "cnp_sent" not in snap
+
+    def test_unmapped_counters_keep_canonical_name(self):
+        counters = NicCounters(vendor_names={"cnp_sent": "np_cnp_sent"})
+        assert "tx_packets" in counters.vendor_snapshot()
+
+    def test_vendor_name_lookup(self):
+        counters = NicCounters(vendor_names={"cnp_sent": "cnpSent"})
+        assert counters.vendor_name("cnp_sent") == "cnpSent"
+        assert counters.vendor_name("tx_packets") == "tx_packets"
+
+    def test_nvidia_and_intel_names_differ(self):
+        assert CX4_LX.counter_names["cnp_sent"] == "np_cnp_sent"
+        assert E810.counter_names["cnp_sent"] == "cnpSent"
+
+
+class TestCatalogue:
+    def test_catalogue_covers_paper_counters(self):
+        # §4: sent/received, sequence errors, OOO, timeouts, iCRC,
+        # discards, CNPs sent/handled.
+        for name in ("tx_packets", "rx_packets", "packet_seq_err",
+                     "out_of_sequence", "local_ack_timeout_err",
+                     "rx_icrc_errors", "rx_discards_phy",
+                     "cnp_sent", "cnp_handled", "implied_nak_seq_err"):
+            assert name in CANONICAL_COUNTERS

@@ -1,0 +1,195 @@
+"""Unit tests for the ETS scheduler, including the CX6 Dx bug mode."""
+
+import pytest
+
+from repro.rdma.ets import EtsQueueConfig, EtsScheduler
+
+
+class StubQp:
+    """Minimal QP stand-in: a byte backlog with optional pacing."""
+
+    def __init__(self, backlog=0, ready_at=0):
+        self.backlog = backlog
+        self.ready_at = ready_at
+        self.ets_queue_index = 0
+
+    def has_pending_tx(self):
+        return self.backlog > 0
+
+    @property
+    def pacing_ready_at(self):
+        return self.ready_at
+
+    def take(self):
+        self.backlog -= 1
+
+
+LINE = 100_000_000_000
+
+
+class TestConfiguration:
+    def test_default_single_queue(self):
+        sched = EtsScheduler(LINE)
+        qp = StubQp(backlog=1)
+        sched.assign(qp, 0)
+        picked, _ = sched.select(0)
+        assert picked is qp
+
+    def test_weights_must_not_exceed_one(self):
+        sched = EtsScheduler(LINE)
+        with pytest.raises(ValueError):
+            sched.configure([EtsQueueConfig(0, 0.7), EtsQueueConfig(1, 0.7)])
+
+    def test_duplicate_indices_rejected(self):
+        sched = EtsScheduler(LINE)
+        with pytest.raises(ValueError):
+            sched.configure([EtsQueueConfig(0, 0.5), EtsQueueConfig(0, 0.5)])
+
+    def test_empty_configuration_rejected(self):
+        sched = EtsScheduler(LINE)
+        with pytest.raises(ValueError):
+            sched.configure([])
+
+    def test_strict_priority_takes_no_weight(self):
+        with pytest.raises(ValueError):
+            EtsQueueConfig(0, weight=0.5, strict_priority=True)
+
+    def test_weight_range_validated(self):
+        with pytest.raises(ValueError):
+            EtsQueueConfig(0, weight=0.0)
+        with pytest.raises(ValueError):
+            EtsQueueConfig(0, weight=1.5)
+
+    def test_assign_to_unknown_queue(self):
+        sched = EtsScheduler(LINE)
+        with pytest.raises(KeyError):
+            sched.assign(StubQp(), 5)
+
+    def test_invalid_line_rate(self):
+        with pytest.raises(ValueError):
+            EtsScheduler(0)
+
+    def test_reassignment_moves_qp(self):
+        sched = EtsScheduler(LINE)
+        sched.configure([EtsQueueConfig(0, 0.5), EtsQueueConfig(1, 0.5)])
+        qp = StubQp(backlog=1)
+        sched.assign(qp, 0)
+        sched.assign(qp, 1)
+        assert qp.ets_queue_index == 1
+        picked, _ = sched.select(0)
+        assert picked is qp  # still schedulable from its new queue
+
+
+class TestSelection:
+    def test_empty_scheduler_returns_nothing(self):
+        sched = EtsScheduler(LINE)
+        assert sched.select(0) == (None, None)
+
+    def test_pacing_blocks_until_ready(self):
+        sched = EtsScheduler(LINE)
+        qp = StubQp(backlog=1, ready_at=500)
+        sched.assign(qp, 0)
+        picked, next_time = sched.select(0)
+        assert picked is None
+        assert next_time == 500
+        picked, _ = sched.select(500)
+        assert picked is qp
+
+    def test_round_robin_among_qps_in_one_queue(self):
+        sched = EtsScheduler(LINE)
+        a, b = StubQp(backlog=10), StubQp(backlog=10)
+        sched.assign(a, 0)
+        sched.assign(b, 0)
+        order = []
+        for _ in range(4):
+            picked, _ = sched.select(0)
+            order.append(picked)
+        assert order == [a, b, a, b]
+
+    def test_blocked_qp_skipped_in_round_robin(self):
+        sched = EtsScheduler(LINE)
+        a = StubQp(backlog=1, ready_at=10_000)
+        b = StubQp(backlog=1, ready_at=0)
+        sched.assign(a, 0)
+        sched.assign(b, 0)
+        picked, _ = sched.select(0)
+        assert picked is b
+
+    def test_strict_priority_preempts_weighted(self):
+        sched = EtsScheduler(LINE)
+        sched.configure([
+            EtsQueueConfig(0, strict_priority=True),
+            EtsQueueConfig(1, weight=1.0),
+        ])
+        high, low = StubQp(backlog=1), StubQp(backlog=1)
+        sched.assign(high, 0)
+        sched.assign(low, 1)
+        picked, _ = sched.select(0)
+        assert picked is high
+
+
+class TestWeightedFairness:
+    def _run_rounds(self, sched, qps, rounds, size=1024):
+        sent = {id(qp): 0 for qp in qps}
+        now = 0
+        for _ in range(rounds):
+            picked, next_time = sched.select(now)
+            if picked is None:
+                if next_time is None:
+                    break
+                now = next_time
+                continue
+            sent[id(picked)] += 1
+            sched.account(picked, now, size)
+            now += size * 8 * 1_000_000_000 // LINE
+        return sent, now
+
+    def test_equal_weights_share_equally(self):
+        sched = EtsScheduler(LINE)
+        sched.configure([EtsQueueConfig(0, 0.5), EtsQueueConfig(1, 0.5)])
+        a, b = StubQp(backlog=10**9), StubQp(backlog=10**9)
+        sched.assign(a, 0)
+        sched.assign(b, 1)
+        sent, _ = self._run_rounds(sched, [a, b], rounds=1000)
+        assert abs(sent[id(a)] - sent[id(b)]) <= 1
+
+    def test_unequal_weights_share_proportionally(self):
+        sched = EtsScheduler(LINE)
+        sched.configure([EtsQueueConfig(0, 0.75), EtsQueueConfig(1, 0.25)])
+        a, b = StubQp(backlog=10**9), StubQp(backlog=10**9)
+        sched.assign(a, 0)
+        sched.assign(b, 1)
+        sent, _ = self._run_rounds(sched, [a, b], rounds=1000)
+        ratio = sent[id(a)] / sent[id(b)]
+        assert 2.4 < ratio < 3.6
+
+    def test_work_conserving_idle_queue_yields_bandwidth(self):
+        # Spec behaviour (§6.2.1): queue 1 empty => queue 0 gets it all.
+        sched = EtsScheduler(LINE, work_conserving=True)
+        sched.configure([EtsQueueConfig(0, 0.5), EtsQueueConfig(1, 0.5)])
+        a = StubQp(backlog=10**9)
+        sched.assign(a, 0)
+        sent, elapsed = self._run_rounds(sched, [a], rounds=1000)
+        # 1000 packets back-to-back: full line rate, no gaps.
+        assert sent[id(a)] == 1000
+        assert elapsed == 1000 * (1024 * 8 * 1_000_000_000 // LINE)
+
+    def test_non_work_conserving_caps_at_guaranteed_rate(self):
+        # The CX6 Dx bug: the queue cannot exceed 50% of line rate even
+        # though the other queue is idle.
+        sched = EtsScheduler(LINE, work_conserving=False)
+        sched.configure([EtsQueueConfig(0, 0.5), EtsQueueConfig(1, 0.5)])
+        a = StubQp(backlog=10**9)
+        sched.assign(a, 0)
+        sent, elapsed = self._run_rounds(sched, [a], rounds=1000)
+        line_rate_time = sent[id(a)] * (1024 * 8 * 1_000_000_000 // LINE)
+        # Wall-clock is ~2x the line-rate time: queue held to 50 Gbps.
+        assert elapsed >= 1.8 * line_rate_time
+
+    def test_bytes_accounting(self):
+        sched = EtsScheduler(LINE)
+        sched.configure([EtsQueueConfig(0, 1.0)])
+        qp = StubQp(backlog=10)
+        sched.assign(qp, 0)
+        sched.account(qp, 0, 2048)
+        assert sched.queue_bytes_sent(0) == 2048

@@ -1,0 +1,116 @@
+"""Unit tests for the vendor behaviour profiles (DESIGN.md table)."""
+
+import pytest
+
+from repro.rdma.profiles import (
+    CX4_LX,
+    CX5,
+    CX6_DX,
+    E810,
+    IDEAL,
+    PROFILES,
+    CnpLimitMode,
+    get_profile,
+)
+from repro.sim.engine import US, MS
+
+
+class TestLookup:
+    def test_all_four_nics_plus_reference(self):
+        assert set(PROFILES) == {"ideal", "cx4", "cx5", "cx6", "e810"}
+
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("CX4") is CX4_LX
+        assert get_profile("e810") is E810
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("cx7")
+
+
+class TestPaperEncodedBehaviours:
+    def test_fig8_nack_generation_ordering(self):
+        # Write: all NICs low; Read: CX4 ~150 µs, E810 ~83 ms.
+        assert CX5.nack_gen_write_ns < 5 * US
+        assert CX6_DX.nack_gen_write_ns < 5 * US
+        assert CX4_LX.nack_gen_read_ns == 150 * US
+        assert E810.nack_gen_read_ns == 83 * MS
+
+    def test_fig9_nack_reaction_ordering(self):
+        # CX5/CX6 best (2-8 µs); CX4 hundreds of µs.
+        assert CX5.nack_react_write_ns < 10 * US
+        assert CX6_DX.nack_react_write_ns < 10 * US
+        assert CX4_LX.nack_react_write_ns > 100 * US
+        assert E810.nack_react_write_ns > 50 * US
+
+    def test_ets_bug_only_on_cx6(self):
+        assert not CX6_DX.ets_work_conserving
+        for profile in (IDEAL, CX4_LX, CX5, E810):
+            assert profile.ets_work_conserving
+
+    def test_noisy_neighbor_only_on_cx4(self):
+        assert CX4_LX.pipeline_stall_read_loss_threshold == 12
+        for profile in (IDEAL, CX5, CX6_DX, E810):
+            assert profile.pipeline_stall_read_loss_threshold is None
+
+    def test_cnp_rate_limit_scopes(self):
+        # §6.3: CX4 per destination IP; CX5/CX6 per port; E810 per QP.
+        assert CX4_LX.cnp_limit_mode == CnpLimitMode.PER_IP
+        assert CX5.cnp_limit_mode == CnpLimitMode.PER_PORT
+        assert CX6_DX.cnp_limit_mode == CnpLimitMode.PER_PORT
+        assert E810.cnp_limit_mode == CnpLimitMode.PER_QP
+
+    def test_e810_hidden_cnp_interval(self):
+        assert E810.hidden_cnp_interval_ns == 50 * US
+        assert not E810.min_time_between_cnps_configurable
+        for profile in (CX4_LX, CX5, CX6_DX):
+            assert profile.hidden_cnp_interval_ns == 0
+            assert profile.min_time_between_cnps_configurable
+
+    def test_migreq_bug_pairing(self):
+        # E810 sends MigReq=0; CX5 has the slow path on MigReq=0.
+        assert E810.migreq_initial == 0
+        assert CX5.migreq_zero_slow_path
+        assert CX5.migreq_initial == 1
+        assert not E810.migreq_zero_slow_path
+
+    def test_counter_bugs(self):
+        assert "cnp_sent" in E810.stuck_counters
+        assert "implied_nak_seq_err" in CX4_LX.stuck_counters
+        assert not IDEAL.stuck_counters
+        assert not CX5.stuck_counters
+
+    def test_adaptive_retrans_support(self):
+        # All CX NICs support adaptive retransmission; E810 does not.
+        for profile in (CX4_LX, CX5, CX6_DX):
+            assert profile.supports_adaptive_retrans
+            assert profile.adaptive_timeout_ladder
+            assert profile.adaptive_extra_retries[1] >= 1
+        assert not E810.supports_adaptive_retrans
+
+    def test_cx6_ladder_matches_measured_values(self):
+        # timeout=14 => base 67.1 ms; measured ladder: 5.6/4.1/8.4/16.7/
+        # 25.1/67.1/134.2 ms.
+        base_ms = 4096 * (2 ** 14) / 1e6
+        ladder_ms = [round(base_ms * f, 1) for f in CX6_DX.adaptive_timeout_ladder]
+        assert ladder_ms == [5.6, 4.2, 8.4, 16.8, 25.2, 67.1, 134.2]
+
+    def test_bandwidths(self):
+        assert CX4_LX.default_bandwidth_gbps == 40.0
+        for profile in (CX5, CX6_DX, E810):
+            assert profile.default_bandwidth_gbps == 100.0
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_profile(self):
+        fixed = CX6_DX.with_overrides(ets_work_conserving=True)
+        assert fixed.ets_work_conserving
+        assert not CX6_DX.ets_work_conserving
+        assert fixed.name == CX6_DX.name
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(Exception):
+            CX5.nack_gen_write_ns = 0
+
+    def test_ideal_profile_has_no_jitter(self):
+        assert IDEAL.latency_jitter_frac == 0.0

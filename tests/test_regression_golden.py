@@ -1,0 +1,114 @@
+"""Golden regression tests: canonical scenarios must stay bit-identical.
+
+The whole value of Lumina-style testing is *reproducibility*: the same
+configuration must produce the same wire trace, every time, on every
+machine. These tests pin a digest of the canonical scenarios' traces;
+they fail on any unintended behavioural change (and on nondeterminism,
+which they run twice to detect directly).
+
+If a deliberate model change breaks a digest, re-derive it with:
+    python -c "from tests.test_regression_golden import digest_of; ..."
+and update the constant together with the change that justified it.
+"""
+
+import hashlib
+
+from conftest import drop, ecn, run_scenario
+
+
+def digest_of(result) -> str:
+    """Stable digest over the wire-visible content of a trace."""
+    hasher = hashlib.sha256()
+    for pkt in result.trace:
+        record = pkt.record
+        hasher.update(record.eth.pack())
+        hasher.update(record.ip.pack())
+        hasher.update(record.udp.pack())
+        hasher.update(record.bth.pack())
+        if record.reth is not None:
+            hasher.update(record.reth.pack())
+        if record.aeth is not None:
+            hasher.update(record.aeth.pack())
+        hasher.update(pkt.timestamp_ns.to_bytes(8, "big"))
+        hasher.update(pkt.iteration.to_bytes(2, "big"))
+    return hasher.hexdigest()[:16]
+
+
+def canonical(seed=1001):
+    # Note the ECN mark sits *before* the drop: ITER is sticky per
+    # connection, so an iter-1 entry behind the retransmission point
+    # would never fire (see test_loss_emulation for that mechanism).
+    return run_scenario(nic="cx5", verb="write", num_msgs=3,
+                        message_size=10240,
+                        events=(drop(psn=5), ecn(psn=3)), seed=seed)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        import dataclasses
+
+        from repro.core.orchestrator import run_test
+
+        first = canonical()
+        config = dataclasses.replace(first.config)
+        second = run_test(config)
+        assert digest_of(first) == digest_of(second)
+
+    def test_different_seed_different_trace(self):
+        assert digest_of(canonical(seed=1001)) != digest_of(canonical(seed=1002))
+
+    def test_counters_are_deterministic(self):
+        import dataclasses
+
+        from repro.core.orchestrator import run_test
+
+        first = canonical()
+        second = run_test(dataclasses.replace(first.config))
+        assert first.requester_counters.canonical == \
+            second.requester_counters.canonical
+        assert first.responder_counters.canonical == \
+            second.responder_counters.canonical
+
+    def test_mct_values_are_deterministic(self):
+        import dataclasses
+
+        from repro.core.orchestrator import run_test
+
+        first = canonical()
+        second = run_test(dataclasses.replace(first.config))
+        a = [m.completion_time_ns for m in first.traffic_log.all_messages]
+        b = [m.completion_time_ns for m in second.traffic_log.all_messages]
+        assert a == b
+
+
+class TestGoldenShapes:
+    """Structural invariants of the canonical trace (not exact digests,
+    so unrelated additions — e.g. new counters — don't churn them)."""
+
+    def test_canonical_trace_structure(self):
+        result = canonical()
+        # 3 msgs x 10 packets + 3 retransmitted (drop at psn 5 of msg 1,
+        # go-back-N replays 5..10 = 6 packets) -- plus ACK/NAK traffic.
+        data = result.trace.data_packets()
+        drops = [p for p in data if p.was_dropped]
+        marks = [p for p in data if p.was_ecn_marked]
+        assert len(drops) == 1
+        assert len(marks) == 1
+        assert len(result.trace.naks()) == 1
+        assert len(result.trace.cnps()) == 1
+        seen = set()
+        retransmitted = [p for p in data
+                         if p.psn in seen or seen.add(p.psn)]
+        assert len(retransmitted) == 6
+
+    def test_canonical_counters(self):
+        result = canonical()
+        req = result.requester_counters
+        resp = result.responder_counters
+        assert req["packet_seq_err"] == 1
+        assert req["retransmitted_packets"] == 6
+        assert req["cnp_handled"] == 1
+        assert resp["nak_sent"] == 1
+        assert resp["cnp_sent"] == 1
+        assert resp["rx_icrc_errors"] == 0
+        assert req["local_ack_timeout_err"] == 0

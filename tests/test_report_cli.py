@@ -1,0 +1,118 @@
+"""Tests for the report renderer and the command-line interface."""
+
+import json
+
+import pytest
+
+from conftest import drop, ecn, run_scenario
+from repro.__main__ import build_parser, main
+from repro.core.report import render_report
+
+
+class TestReport:
+    def test_report_sections_present(self):
+        result = run_scenario(nic="cx5", verb="write", num_msgs=3,
+                              message_size=4096, events=(drop(psn=2),), seed=5)
+        report = render_report(result)
+        for heading in ("Lumina test report", "Integrity",
+                        "Application metrics", "Retransmission analysis",
+                        "Go-back-N logic check", "Counter check",
+                        "Counters (vendor names)"):
+            assert heading in report
+
+    def test_report_shows_recovery_breakdown(self):
+        result = run_scenario(nic="cx5", verb="write", num_msgs=3,
+                              message_size=4096, events=(drop(psn=2),), seed=5)
+        report = render_report(result)
+        assert "fast retransmission" in report
+        assert "NACK gen" in report
+
+    def test_report_flags_counter_bugs(self):
+        result = run_scenario(nic="e810", verb="write", num_msgs=2,
+                              message_size=4096, events=(ecn(psn=3),), seed=9)
+        report = render_report(result)
+        assert "COUNTER BUGS" in report
+        assert "cnpSent" in report
+
+    def test_clean_run_report_is_quiet(self):
+        result = run_scenario(nic="cx5", verb="write", num_msgs=2,
+                              message_size=2048)
+        report = render_report(result)
+        assert "no injected drops" in report
+        assert "compliant" in report
+        assert "consistent with the trace" in report
+
+    def test_report_uses_vendor_counter_names(self):
+        result = run_scenario(nic="cx4", verb="write", num_msgs=2,
+                              message_size=4096, events=(drop(psn=2),), seed=5)
+        report = render_report(result)
+        assert "packet_seq_err=" in report  # NVIDIA naming
+
+
+class TestCli:
+    def test_example_config_is_valid_json(self, capsys):
+        assert main(["example-config"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["requester"]["nic"]["type"] == "cx5"
+
+    def test_nics_lists_all_profiles(self, capsys):
+        assert main(["nics"]) == 0
+        out = capsys.readouterr().out
+        for nic in ("ideal", "cx4", "cx5", "cx6", "e810"):
+            assert nic in out
+        assert "non-work-conserving ETS" in out
+
+    def test_run_roundtrip(self, tmp_path, capsys):
+        config = {
+            "requester": {"nic": {"type": "cx5", "ip-list": ["10.0.0.1/24"]}},
+            "responder": {"nic": {"type": "cx5", "ip-list": ["10.0.0.2/24"]}},
+            "traffic": {"num-msgs-per-qp": 2, "message-size": 2048},
+            "seed": 4,
+        }
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(config))
+        assert main(["run", str(path)]) == 0
+        assert "Lumina test report" in capsys.readouterr().out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        config = {
+            "requester": {"nic": {"type": "cx5", "ip-list": ["10.0.0.1/24"]}},
+            "responder": {"nic": {"type": "cx5", "ip-list": ["10.0.0.2/24"]}},
+            "traffic": {"num-msgs-per-qp": 1, "message-size": 1024},
+        }
+        path = tmp_path / "cfg.json"
+        out = tmp_path / "report.txt"
+        path.write_text(json.dumps(config))
+        assert main(["run", str(path), "-o", str(out)]) == 0
+        assert "Integrity" in out.read_text()
+
+    def test_seed_override(self, tmp_path, capsys):
+        config = {
+            "requester": {"nic": {"type": "cx5", "ip-list": ["10.0.0.1/24"]}},
+            "responder": {"nic": {"type": "cx5", "ip-list": ["10.0.0.2/24"]}},
+            "traffic": {"num-msgs-per-qp": 1, "message-size": 1024},
+            "seed": 1,
+        }
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(config))
+        assert main(["run", str(path), "--seed", "99"]) == 0
+        assert "seed=99" in capsys.readouterr().out
+
+    def test_fuzz_command(self, tmp_path, capsys):
+        config = {
+            "requester": {"nic": {"type": "e810", "ip-list": ["10.0.0.1/24"]}},
+            "responder": {"nic": {"type": "e810", "ip-list": ["10.0.0.2/24"]}},
+            "traffic": {"num-connections": 2, "num-msgs-per-qp": 2,
+                        "message-size": 10240},
+            "seed": 7,
+        }
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(config))
+        code = main(["fuzz", str(path), "-n", "10", "--threshold", "2.5"])
+        out = capsys.readouterr().out
+        assert "findings:" in out
+        assert code in (0, 2)
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

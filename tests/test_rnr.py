@@ -1,0 +1,101 @@
+"""Tests for the RC receiver-not-ready (RNR NAK) path."""
+
+import pytest
+
+from repro import quick_config
+from repro.core.testbed import build_testbed
+from repro.net.headers import AckExtendedHeader, AethSyndrome
+from repro.rdma.qp import QpState
+from repro.rdma.verbs import CompletionQueue, Verb, WcStatus, WorkRequest
+
+
+def pair(seed=3, rnr_timer_ns=10_000):
+    testbed = build_testbed(quick_config(nic="cx5", seed=seed))
+    req_cq, resp_cq = CompletionQueue(), CompletionQueue()
+    req = testbed.requester.nic.create_qp(req_cq, testbed.requester.ips[0])
+    resp = testbed.responder.nic.create_qp(resp_cq, testbed.responder.ips[0])
+    req.connect(testbed.responder.ips[0], resp.qp_num, resp.initial_psn)
+    resp.connect(testbed.requester.ips[0], req.qp_num, req.initial_psn)
+    req.rnr_timer_ns = rnr_timer_ns
+    return testbed, req, resp, req_cq
+
+
+class TestAethRnr:
+    def test_rnr_nak_header(self):
+        aeth = AckExtendedHeader.rnr_nak(timer_code=5, msn=2)
+        assert aeth.is_rnr
+        assert not aeth.is_ack and not aeth.is_nak
+        kind, code = AethSyndrome.decode(aeth.syndrome)
+        assert kind == AethSyndrome.RNR_NAK
+        assert code == 5
+
+
+class TestRnrFlow:
+    def test_send_without_recv_triggers_rnr(self):
+        testbed, req, resp, cq = pair()
+        resp.auto_recv = False
+        req.post_send(WorkRequest(verb=Verb.SEND, length=2048))
+        testbed.sim.run_for(30_000)
+        assert testbed.responder.nic.counters["rnr_nak_sent"] >= 1
+        assert testbed.requester.nic.counters["rnr_nak_received"] >= 1
+        assert not cq.poll()  # not complete yet
+
+    def test_posting_recv_unblocks(self):
+        testbed, req, resp, cq = pair()
+        resp.auto_recv = False
+        req.post_send(WorkRequest(verb=Verb.SEND, length=2048))
+        testbed.sim.run_for(25_000)
+        resp.post_recv(1)
+        testbed.sim.run()
+        completions = cq.poll()
+        assert len(completions) == 1
+        assert completions[0].status is WcStatus.SUCCESS
+
+    def test_rnr_backoff_paces_retries(self):
+        # With a 10 µs RNR timer, ~30 µs produces only a few attempts,
+        # not a retransmission storm.
+        testbed, req, resp, _ = pair(rnr_timer_ns=10_000)
+        resp.auto_recv = False
+        req.post_send(WorkRequest(verb=Verb.SEND, length=1024))
+        testbed.sim.run_for(35_000)
+        assert 2 <= testbed.responder.nic.counters["rnr_nak_sent"] <= 5
+
+    def test_rnr_retry_exhaustion_errors_qp(self):
+        testbed, req, resp, cq = pair(rnr_timer_ns=5_000)
+        resp.auto_recv = False
+        req.rnr_retry_limit = 3
+        req.post_send(WorkRequest(verb=Verb.SEND, length=1024))
+        testbed.sim.run_for(2_000_000)
+        assert req.state is QpState.ERROR
+        completions = cq.poll()
+        assert completions and completions[0].status is WcStatus.RETRY_EXC_ERR
+
+    def test_recv_wqes_consumed_per_message(self):
+        testbed, req, resp, cq = pair()
+        resp.auto_recv = False
+        resp.post_recv(2)
+        for _ in range(2):
+            req.post_send(WorkRequest(verb=Verb.SEND, length=2048))
+        testbed.sim.run()
+        assert len(cq.poll()) == 2
+        assert resp.recv_wqes_available == 0
+
+    def test_writes_do_not_consume_recv_wqes(self):
+        testbed, req, resp, cq = pair()
+        resp.auto_recv = False  # no recvs posted at all
+        req.post_send(WorkRequest(verb=Verb.WRITE, length=2048))
+        testbed.sim.run()
+        assert cq.poll()[0].status is WcStatus.SUCCESS
+        assert testbed.responder.nic.counters["rnr_nak_sent"] == 0
+
+    def test_post_recv_validation(self):
+        _, _, resp, _ = pair()
+        with pytest.raises(ValueError):
+            resp.post_recv(0)
+
+    def test_auto_recv_default_never_rnrs(self):
+        testbed, req, resp, cq = pair()
+        req.post_send(WorkRequest(verb=Verb.SEND, length=2048))
+        testbed.sim.run()
+        assert cq.poll()[0].status is WcStatus.SUCCESS
+        assert testbed.responder.nic.counters["rnr_nak_sent"] == 0

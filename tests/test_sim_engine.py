@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulationError, US, MS, SEC
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self, sim):
+        assert sim.now == 0
+
+    def test_callback_runs_at_scheduled_time(self, sim):
+        seen = []
+        sim.schedule(100, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100]
+
+    def test_arguments_are_passed(self, sim):
+        seen = []
+        sim.schedule(5, seen.append, "value")
+        sim.run()
+        assert seen == ["value"]
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(300, order.append, "c")
+        sim.schedule(100, order.append, "a")
+        sim.schedule(200, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_tick_events_fire_fifo(self, sim):
+        order = []
+        for tag in range(10):
+            sim.schedule(50, order.append, tag)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_zero_delay_runs_after_current_tick_events(self, sim):
+        order = []
+
+        def outer():
+            sim.schedule(0, order.append, "inner")
+            order.append("outer")
+
+        sim.schedule(10, outer)
+        sim.schedule(10, order.append, "sibling")
+        sim.run()
+        assert order == ["outer", "sibling", "inner"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule_at(400, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [400]
+
+    def test_schedule_at_in_the_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+
+        def chain(depth):
+            seen.append(sim.now)
+            if depth:
+                sim.schedule(10, chain, depth - 1)
+
+        sim.schedule(0, chain, 3)
+        sim.run()
+        assert seen == [0, 10, 20, 30]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        seen = []
+        event = sim.schedule(10, seen.append, "x")
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancel_one_of_many(self, sim):
+        seen = []
+        keep = sim.schedule(10, seen.append, "keep")
+        kill = sim.schedule(10, seen.append, "kill")
+        kill.cancel()
+        sim.run()
+        assert seen == ["keep"]
+        assert not keep.cancelled
+
+    def test_pending_excludes_cancelled(self, sim):
+        sim.schedule(10, lambda: None)
+        event = sim.schedule(20, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(100, seen.append, "early")
+        sim.schedule(5000, seen.append, "late")
+        sim.run(until=1000)
+        assert seen == ["early"]
+        assert sim.now == 1000
+
+    def test_run_until_advances_clock_even_when_queue_drains(self, sim):
+        sim.run(until=777)
+        assert sim.now == 777
+
+    def test_remaining_events_fire_on_next_run(self, sim):
+        seen = []
+        sim.schedule(100, seen.append, 1)
+        sim.schedule(5000, seen.append, 2)
+        sim.run(until=1000)
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_run_for_relative_duration(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run(until=200)
+        sim.run_for(300)
+        assert sim.now == 500
+
+    def test_max_events_budget(self, sim):
+        seen = []
+        for i in range(10):
+            sim.schedule(i, seen.append, i)
+        sim.run(max_events=4)
+        assert seen == [0, 1, 2, 3]
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_not_reentrant(self, sim):
+        def recurse():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1, recurse)
+        sim.run()
+
+    def test_reset_clears_queue_and_clock(self, sim):
+        seen = []
+        sim.schedule(10, seen.append, "x")
+        sim.run(until=5)
+        sim.reset()
+        assert sim.now == 0
+        sim.run()
+        assert seen == []
+
+
+class TestTimeConstants:
+    def test_unit_relationships(self):
+        assert US == 1_000
+        assert MS == 1_000 * US
+        assert SEC == 1_000 * MS

@@ -1,0 +1,85 @@
+"""Unit tests for the seeded random source."""
+
+from repro.sim.rng import SimRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = SimRandom(42)
+        b = SimRandom(42)
+        assert [a.randint(0, 1000) for _ in range(20)] == \
+               [b.randint(0, 1000) for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = SimRandom(1)
+        b = SimRandom(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != \
+               [b.randint(0, 10**9) for _ in range(5)]
+
+    def test_child_streams_are_independent(self):
+        root = SimRandom(7)
+        child_a = root.child("nic/a")
+        # Consuming from one child must not perturb a sibling created later.
+        burn = [child_a.random() for _ in range(100)]
+        child_b = root.child("nic/b")
+        fresh_b = [child_b.random() for _ in range(5)]
+        replay = SimRandom(7).child("nic/b")
+        again_b = [replay.random() for _ in range(5)]
+        assert fresh_b == again_b
+        assert burn  # silence lints
+
+    def test_child_namespace_nests(self):
+        root = SimRandom(7, "root")
+        child = root.child("sub")
+        assert child.namespace == "root/sub"
+
+
+class TestRanges:
+    def test_qpn_is_24_bit_nonzero(self):
+        rng = SimRandom(3)
+        for _ in range(200):
+            qpn = rng.qpn()
+            assert 0 < qpn < 0xFFFFFF
+
+    def test_psn_is_24_bit(self):
+        rng = SimRandom(3)
+        for _ in range(200):
+            assert 0 <= rng.psn() <= 0xFFFFFF
+
+    def test_choice_and_sample(self):
+        rng = SimRandom(5)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        picked = rng.sample(items, 3)
+        assert len(picked) == 3
+        assert all(p in items for p in picked)
+
+    def test_shuffle_preserves_elements(self):
+        rng = SimRandom(5)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestJitter:
+    def test_jitter_within_fraction(self):
+        rng = SimRandom(9)
+        base = 10_000
+        for _ in range(500):
+            value = rng.jitter_ns(base, fraction=0.1)
+            assert 9_000 <= value <= 11_000
+
+    def test_zero_fraction_returns_base(self):
+        rng = SimRandom(9)
+        assert rng.jitter_ns(5000, fraction=0.0) == 5000
+
+    def test_non_positive_base_clamped(self):
+        rng = SimRandom(9)
+        assert rng.jitter_ns(0) == 0
+        assert rng.jitter_ns(-10) == 0
+
+    def test_jitter_never_negative(self):
+        rng = SimRandom(9)
+        for _ in range(100):
+            assert rng.jitter_ns(10, fraction=5.0) >= 0

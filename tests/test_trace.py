@@ -1,0 +1,120 @@
+"""Unit tests for trace reconstruction and the integrity check (§3.5)."""
+
+from repro.core.trace import check_integrity, reconstruct_trace
+from repro.dumper.records import make_record
+from repro.net.headers import (
+    AckExtendedHeader,
+    BaseTransportHeader,
+    EthernetHeader,
+    Ipv4Header,
+    Opcode,
+    UdpHeader,
+)
+from repro.net.packet import EventType, Packet
+
+
+def mirrored(seq, psn, timestamp=None, opcode=Opcode.SEND_ONLY,
+             event=EventType.NONE, src=1, dst=2, qpn=9):
+    packet = Packet(
+        eth=EthernetHeader(src_mac=seq, dst_mac=timestamp if timestamp is not None else seq * 100),
+        ip=Ipv4Header(src_ip=src, dst_ip=dst, ttl=event),
+        udp=UdpHeader(src_port=0xC000, dst_port=4791),
+        bth=BaseTransportHeader(opcode=opcode, dest_qp=qpn, psn=psn),
+        payload_len=64,
+    )
+    if opcode == Opcode.ACKNOWLEDGE:
+        packet.aeth = AckExtendedHeader.ack()
+    packet.ip.total_length = packet.size - 14
+    packet.udp.length = packet.ip.total_length - 20
+    return make_record(packet, rx_time_ns=seq, server="d0", core=0)
+
+
+class TestReconstruction:
+    def test_records_sorted_by_mirror_seq(self):
+        records = [mirrored(2, 12), mirrored(0, 10), mirrored(1, 11)]
+        trace = reconstruct_trace(records)
+        assert [p.mirror_seq for p in trace] == [0, 1, 2]
+        assert [p.psn for p in trace] == [10, 11, 12]
+
+    def test_iters_rederived_from_psn_stream(self):
+        # 10 11 12 | 11 12 -> ITERs 1 1 1 2 2 (offline Fig. 3 replay).
+        records = [mirrored(i, psn) for i, psn in
+                   enumerate([10, 11, 12, 11, 12])]
+        trace = reconstruct_trace(records)
+        assert [p.iteration for p in trace] == [1, 1, 1, 2, 2]
+
+    def test_iters_tracked_per_connection(self):
+        records = [
+            mirrored(0, 10, qpn=1),
+            mirrored(1, 10, qpn=2),
+            mirrored(2, 10, qpn=1),  # retransmission on conn 1 only
+        ]
+        trace = reconstruct_trace(records)
+        assert [p.iteration for p in trace] == [1, 1, 2]
+
+    def test_helpers(self):
+        records = [
+            mirrored(0, 10),
+            mirrored(1, 11, event=EventType.DROP),
+            mirrored(2, 100, opcode=Opcode.ACKNOWLEDGE, src=2, dst=1),
+        ]
+        trace = reconstruct_trace(records)
+        assert len(trace) == 3
+        assert len(trace.connections()) == 2
+        assert len(trace.data_packets()) == 2
+        assert len(trace.acks()) == 1
+        assert trace.packets[1].was_dropped
+        assert not trace.packets[0].was_dropped
+
+    def test_find_by_psn_and_iteration(self):
+        records = [mirrored(i, psn) for i, psn in enumerate([10, 11, 10])]
+        trace = reconstruct_trace(records)
+        first = trace.find((1, 2, 9), 10, 1)
+        retrans = trace.find((1, 2, 9), 10, 2)
+        assert first.mirror_seq == 0
+        assert retrans.mirror_seq == 2
+        assert trace.find((1, 2, 9), 10, 3) is None
+
+    def test_empty_trace(self):
+        trace = reconstruct_trace([])
+        assert len(trace) == 0
+        assert trace.connections() == []
+
+
+class TestIntegrity:
+    def _counters(self, mirrored_count, roce_rx):
+        return {"mirrored_packets": mirrored_count, "roce_rx_packets": roce_rx}
+
+    def test_complete_trace_passes(self):
+        trace = reconstruct_trace([mirrored(i, 10 + i) for i in range(4)])
+        report = check_integrity(trace, self._counters(4, 4))
+        assert report.ok
+        assert report.seq_consecutive
+        assert report.mirror_count_matches
+        assert report.roce_count_matches
+        assert "PASS" in report.summary()
+
+    def test_missing_sequence_fails_condition_1(self):
+        records = [mirrored(i, 10 + i) for i in (0, 1, 3)]  # seq 2 missing
+        trace = reconstruct_trace(records)
+        report = check_integrity(trace, self._counters(4, 4))
+        assert not report.ok
+        assert not report.seq_consecutive
+        assert 2 in report.missing_seqs
+
+    def test_mirror_count_mismatch_fails_condition_2(self):
+        trace = reconstruct_trace([mirrored(i, 10 + i) for i in range(3)])
+        report = check_integrity(trace, self._counters(5, 3))
+        assert not report.mirror_count_matches
+        assert report.roce_count_matches
+        assert not report.ok
+
+    def test_roce_count_mismatch_fails_condition_3(self):
+        trace = reconstruct_trace([mirrored(i, 10 + i) for i in range(3)])
+        report = check_integrity(trace, self._counters(3, 7))
+        assert report.mirror_count_matches
+        assert not report.roce_count_matches
+
+    def test_empty_trace_with_zero_counters_passes(self):
+        report = check_integrity(reconstruct_trace([]), self._counters(0, 0))
+        assert report.ok
