@@ -4,6 +4,11 @@ Every bench file regenerates one table or figure from the paper's
 evaluation. Besides the pytest-benchmark timing, each bench writes its
 paper-vs-measured series to ``benchmarks/results/<name>.txt`` (and
 prints it) so the reproduction numbers survive output capturing.
+
+Set ``REPRO_BENCH_TELEMETRY=1`` to run the whole bench session under a
+telemetry session: each :func:`emit` then also snapshots the metrics
+registry next to the result table, and the full trace is exported to
+``benchmarks/results/telemetry/`` at session end.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+_TELEMETRY_ON = os.environ.get("REPRO_BENCH_TELEMETRY") == "1"
+
 
 def emit(name: str, lines) -> str:
     """Print and persist one bench's result table."""
@@ -23,7 +30,25 @@ def emit(name: str, lines) -> str:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    from repro.telemetry import runtime as telemetry
+
+    session = telemetry.active()
+    if session is not None:
+        from repro.telemetry.export import to_prometheus
+
+        (RESULTS_DIR / f"{name}.metrics.prom").write_text(
+            to_prometheus(session.registry))
     return text
+
+
+@pytest.fixture(scope="session", autouse=_TELEMETRY_ON)
+def bench_telemetry():
+    """Session-wide telemetry, gated on REPRO_BENCH_TELEMETRY=1."""
+    from repro.telemetry import runtime as telemetry
+
+    out_dir = RESULTS_DIR / "telemetry"
+    with telemetry.session(str(out_dir), export_on_exit=True) as session:
+        yield session
 
 
 @pytest.fixture(scope="session")

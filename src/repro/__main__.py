@@ -10,12 +10,19 @@ Commands:
 * ``incast``              — run an N-to-1 fan-in workload.
 * ``nics``                — list the built-in NIC behaviour profiles.
 * ``example-config``      — print a ready-to-edit JSON config.
+* ``telemetry-report <dir>`` — summarize a ``--telemetry`` output dir.
+
+``run``, ``fuzz``, ``suite`` and ``incast`` accept ``--telemetry DIR``:
+the run executes with telemetry enabled and writes a Chrome trace
+(``trace.json``), Prometheus metrics (``metrics.prom``) and span JSONL
+(``events.jsonl``) into DIR on completion.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .core.config import TestConfig
@@ -155,6 +162,21 @@ def cmd_example_config(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry_report(args: argparse.Namespace) -> int:
+    from .telemetry.report import render_summary
+
+    if not os.path.isdir(args.dir):
+        print(f"error: no such telemetry directory: {args.dir}",
+              file=sys.stderr)
+        return 2
+    try:
+        print(render_summary(args.dir))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("config")
     run_p.add_argument("--seed", type=int, default=None)
     run_p.add_argument("--output", "-o", help="write the report to a file")
+    run_p.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="collect runtime telemetry and export to DIR")
     run_p.set_defaults(func=cmd_run)
 
     fuzz_p = sub.add_parser("fuzz", help="fuzz around a base config")
@@ -181,6 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--seed", type=int, default=None)
     fuzz_p.add_argument("--threshold", type=float, default=3.0)
     fuzz_p.add_argument("--stop-on-first", action="store_true")
+    fuzz_p.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="collect runtime telemetry and export to DIR")
     fuzz_p.set_defaults(func=cmd_fuzz)
 
     suite_p = sub.add_parser(
@@ -189,6 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--seed", type=int, default=77)
     suite_p.add_argument("--checks", nargs="*",
                          help="subset of checks to run (default: all)")
+    suite_p.add_argument("--telemetry", metavar="DIR", default=None,
+                         help="collect runtime telemetry and export to DIR")
     suite_p.set_defaults(func=cmd_suite)
 
     incast_p = sub.add_parser("incast",
@@ -201,6 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
     incast_p.add_argument("--queue-kb", type=int, default=None,
                           help="bottleneck buffer (default: deep)")
     incast_p.add_argument("--seed", type=int, default=55)
+    incast_p.add_argument("--telemetry", metavar="DIR", default=None,
+                          help="collect runtime telemetry and export to DIR")
     incast_p.set_defaults(func=cmd_incast)
 
     nics_p = sub.add_parser("nics", help="list NIC behaviour profiles")
@@ -209,12 +239,33 @@ def build_parser() -> argparse.ArgumentParser:
     example_p = sub.add_parser("example-config",
                                help="print a sample JSON config")
     example_p.set_defaults(func=cmd_example_config)
+
+    telreport_p = sub.add_parser(
+        "telemetry-report",
+        help="summarize a --telemetry output directory")
+    telreport_p.add_argument("dir")
+    telreport_p.set_defaults(func=cmd_telemetry_report)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir is None:
+        return args.func(args)
+    from .telemetry import runtime as telemetry
+
+    telemetry.enable(telemetry_dir)
+    try:
+        status = args.func(args)
+        session = telemetry.active()
+        if session is not None:
+            paths = session.export()
+            names = sorted(p.rsplit("/", 1)[-1] for p in paths.values())
+            print(f"telemetry written to {telemetry_dir} ({', '.join(names)})")
+        return status
+    finally:
+        telemetry.disable()
 
 
 if __name__ == "__main__":

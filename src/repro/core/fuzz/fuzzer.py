@@ -19,6 +19,7 @@ from statistics import median
 from typing import Callable, List, Optional
 
 from ...sim.rng import SimRandom
+from ...telemetry import runtime as telemetry
 from ..config import TestConfig, TrafficConfig
 from ..orchestrator import run_test
 from ..results import TestResult
@@ -98,19 +99,33 @@ class LuminaFuzzer:
     def run(self, iterations: int = 20, stop_on_first: bool = False) -> FuzzReport:
         """Run the fuzzing loop for at most ``iterations`` rounds."""
         report = FuzzReport()
+        tel = telemetry.current()
+        m_iters = tel.counter("fuzz_iterations")
+        m_invalid = tel.counter("fuzz_invalid_runs")
+        m_findings = tel.counter("fuzz_findings")
+        h_score = tel.histogram("fuzz_score",
+                                buckets=(0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0))
         for iteration in range(1, iterations + 1):
             report.iterations_run = iteration
+            m_iters.inc()
             # Step 2: pick + mutate.
             gamma = self.rng.choice(self.pool)
             candidate = mutate(gamma, self.rng,
                                rounds=self.rng.choice([1, 1, 2]))
-            # Run Lumina with the mutated configuration.
-            result = self._run(self._config_for(candidate))
-            # Step 3: score.
-            score = score_result(result, self.weights)
+            # Each iteration spawns an independent sim starting at t=0,
+            # so the generation span lives on the wall-clock lane.
+            with tel.wall_span("fuzz.generation", pid="fuzzer",
+                               category="fuzz", iteration=iteration) as span:
+                # Run Lumina with the mutated configuration.
+                result = self._run(self._config_for(candidate))
+                # Step 3: score.
+                score = score_result(result, self.weights)
+                span.set(score=round(score.total, 3), valid=score.valid)
             if not score.valid:
                 report.invalid_runs += 1
+                m_invalid.inc()
                 continue
+            h_score.observe(score.total)
             # Step 4: selection against the pool median.
             current_median = median(self._pool_scores) if self._pool_scores else 0.0
             if score.total >= current_median or \
@@ -119,6 +134,7 @@ class LuminaFuzzer:
                 self._pool_scores.append(score.total)
             report.pool_scores.append(score.total)
             if score.total >= self.anomaly_threshold:
+                m_findings.inc()
                 report.findings.append(FuzzFinding(
                     iteration=iteration,
                     config=self._config_for(candidate),

@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..switch.events import RewriteRule
+from ..telemetry import runtime as telemetry
+from ..telemetry.instrument import attach_testbed
 from .config import TestConfig
 from .intent import expand_periodic_events, translate_events
 from .results import HostCounters, TestResult
@@ -52,18 +54,26 @@ class Orchestrator:
 
     def run(self) -> TestResult:
         """Execute the test and return the collected results."""
-        self.setup()
+        tel = telemetry.active()
+        session = telemetry.current()
+        if tel is not None:
+            attach_testbed(self.testbed, tel)
+        with session.span("run.setup", pid="orchestrator"):
+            self.setup()
         sim = self.testbed.sim
         process = self.session.start()
-        sim.run(until=self.config.max_duration_ns)
+        with session.span("run.traffic", pid="orchestrator"):
+            sim.run(until=self.config.max_duration_ns)
         # Drain: let in-flight control packets, mirrors and dumper rings
         # settle before TERM. The queue is usually empty already unless
         # the duration cap fired mid-transfer.
-        sim.run_for(2_000_000)
-        records = self.testbed.dumpers.terminate_all()
-        trace = reconstruct_trace(records)
-        switch_counters = self.testbed.switch_controller.dump_counters()
-        integrity = check_integrity(trace, switch_counters)
+        with session.span("run.drain", pid="orchestrator"):
+            sim.run_for(2_000_000)
+        with session.span("run.collect", pid="orchestrator"):
+            records = self.testbed.dumpers.terminate_all()
+            trace = reconstruct_trace(records)
+            switch_counters = self.testbed.switch_controller.dump_counters()
+            integrity = check_integrity(trace, switch_counters)
         if not self.session.log.finished_at:
             # Duration cap hit: close the log so metrics stay meaningful.
             self.session.log.finished_at = sim.now
@@ -75,6 +85,13 @@ class Orchestrator:
         # sim.now sits at the duration cap (run() advances the clock);
         # the meaningful duration is when traffic actually finished.
         duration = self.session.log.finished_at or sim.now
+        if tel is not None:
+            probe = getattr(sim, "probe", None)
+            if probe is not None:
+                probe.flush()
+            session.gauge("run_duration_ns").set(duration)
+            session.gauge("run_trace_packets").set(len(trace))
+            session.gauge("run_integrity_ok").set(int(integrity.ok))
         return TestResult(
             config=self.config,
             metadata=self.session.metadata,

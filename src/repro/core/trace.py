@@ -75,9 +75,21 @@ class TracePacket:
 
 @dataclass
 class PacketTrace:
-    """The reconstructed, time-ordered view of everything on the wire."""
+    """The reconstructed, time-ordered view of everything on the wire.
+
+    Lookups are index-backed: analyzers call :meth:`find` per packet
+    (the Go-back-N checker resolves every (PSN, ITER) identity), so a
+    linear scan would make checking quadratic in trace length. The
+    indexes are built lazily on first use — a trace is immutable once
+    reconstructed — and cover per-connection packet lists plus the
+    (connection, PSN, ITER) identity map.
+    """
 
     packets: List[TracePacket] = field(default_factory=list)
+    _by_conn: Optional[Dict[Tuple[int, int, int], List[TracePacket]]] = \
+        field(default=None, repr=False, compare=False)
+    _by_identity: Optional[Dict[Tuple, TracePacket]] = \
+        field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.packets)
@@ -85,15 +97,25 @@ class PacketTrace:
     def __iter__(self):
         return iter(self.packets)
 
+    def _index(self) -> Dict[Tuple[int, int, int], List[TracePacket]]:
+        if self._by_conn is None:
+            by_conn: Dict[Tuple[int, int, int], List[TracePacket]] = {}
+            by_identity: Dict[Tuple, TracePacket] = {}
+            for pkt in self.packets:
+                by_conn.setdefault(pkt.conn_key, []).append(pkt)
+                # First match wins, like the original scan did.
+                by_identity.setdefault(
+                    (pkt.conn_key, pkt.psn, pkt.iteration), pkt)
+            self._by_conn = by_conn
+            self._by_identity = by_identity
+        return self._by_conn
+
     def connections(self) -> List[Tuple[int, int, int]]:
         """Directed connection keys present, in first-seen order."""
-        seen: Dict[Tuple[int, int, int], None] = {}
-        for pkt in self.packets:
-            seen.setdefault(pkt.conn_key, None)
-        return list(seen)
+        return list(self._index())
 
     def for_connection(self, conn_key: Tuple[int, int, int]) -> List[TracePacket]:
-        return [p for p in self.packets if p.conn_key == conn_key]
+        return list(self._index().get(conn_key, ()))
 
     def data_packets(self, conn_key: Optional[Tuple[int, int, int]] = None
                      ) -> List[TracePacket]:
@@ -117,11 +139,9 @@ class PacketTrace:
     def find(self, conn_key: Tuple[int, int, int], psn: int,
              iteration: int = 1) -> Optional[TracePacket]:
         """The packet of a connection with the given (PSN, ITER) identity."""
-        for pkt in self.packets:
-            if pkt.conn_key == conn_key and pkt.psn == psn \
-                    and pkt.iteration == iteration:
-                return pkt
-        return None
+        self._index()
+        assert self._by_identity is not None
+        return self._by_identity.get((conn_key, psn, iteration))
 
 
 @dataclass

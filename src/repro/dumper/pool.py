@@ -13,6 +13,7 @@ from typing import List
 from ..net.link import connect
 from ..sim.engine import Simulator
 from ..switch.pipeline import TofinoSwitch
+from ..telemetry import runtime as telemetry
 from .records import DumpRecord
 from .server import DumperServer
 
@@ -52,8 +53,18 @@ class DumperPool:
     def terminate_all(self) -> List[DumpRecord]:
         """Send TERM to every server; returns all records, unsorted."""
         records: List[DumpRecord] = []
+        counts: List[int] = []
+        tel = telemetry.current()
         for server in self.servers:
-            records.extend(server.terminate())
+            written = server.terminate()
+            records.extend(written)
+            counts.append(len(written))
+            tel.gauge("dumper_disk_records", server=server.name).set(len(written))
+        if counts and records:
+            # Load-balance skew: max per-server share over the fair share.
+            fair = len(records) / len(counts)
+            tel.gauge("dumper_lb_skew_permille").set(
+                int(max(counts) / fair * 1000) if fair else 0)
         return records
 
     @property

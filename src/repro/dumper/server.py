@@ -21,6 +21,7 @@ from typing import List, Optional
 from ..net.link import Node, Port
 from ..net.packet import Packet
 from ..sim.engine import Simulator
+from ..telemetry import runtime as telemetry
 from .records import DumpRecord, make_record
 
 __all__ = ["DumperServer"]
@@ -64,6 +65,9 @@ class DumperServer(Node):
         self._terminated = False
         self._disk_file: Optional[List[DumpRecord]] = None
         self.rx_discards = 0
+        tel = telemetry.current()
+        self._m_records = tel.counter("dumper_records", server=name)
+        self._m_discards = tel.counter("dumper_discards", server=name)
 
     # ------------------------------------------------------------------
     @property
@@ -81,6 +85,7 @@ class DumperServer(Node):
         if core.backlog >= core.ring_slots:
             core.dropped += 1
             self.rx_discards += 1
+            self._m_discards.inc()
             return
         core.backlog += 1
         start = max(self.sim.now, core.free_at)
@@ -92,6 +97,7 @@ class DumperServer(Node):
         core.processed += 1
         # Copy only the first 128 bytes into pre-allocated memory (§5).
         self._records.append(make_record(packet, self.sim.now, self.name, core.index))
+        self._m_records.inc()
 
     # ------------------------------------------------------------------
     def terminate(self) -> List[DumpRecord]:

@@ -28,6 +28,7 @@ from ..net.link import Node, Port, gbps
 from ..net.packet import Packet
 from ..sim.engine import Simulator, MS
 from ..sim.rng import SimRandom
+from ..telemetry import runtime as telemetry
 from .counters import NicCounters
 from .dcqcn import CnpRateLimiter, DcqcnParams
 from .ets import EtsQueueConfig, EtsScheduler
@@ -90,6 +91,19 @@ class RdmaNic(Node):
         # RX pipeline ordering: per-packet latency jitter must never
         # reorder packets (the pipeline is a FIFO in hardware).
         self._rx_dispatch_floor = 0
+
+        # Telemetry handles, shared by this NIC's QPs (no-op twins when
+        # telemetry is disabled — see repro.telemetry).
+        tel = telemetry.current()
+        self._tel = telemetry.active()
+        self._m_retrans = tel.counter("nic_retransmitted_packets", host=name)
+        self._m_timer_arm = tel.counter("nic_timer_armed", host=name)
+        self._m_timer_cancel = tel.counter("nic_timer_cancelled", host=name)
+        self._m_timeout = tel.counter("nic_timeout_fired", host=name)
+        self._m_cnp_sent = tel.counter("nic_cnp_sent", host=name)
+        self._m_cnp_handled = tel.counter("nic_cnp_handled", host=name)
+        self._m_rate_updates = tel.counter("nic_dcqcn_rate_updates", host=name)
+        self._m_rate = tel.gauge("nic_dcqcn_rate_bps", host=name)
 
     # ------------------------------------------------------------------
     # QP management
@@ -200,8 +214,14 @@ class RdmaNic(Node):
         if not self.cnp_limiter.allow(self.sim.now, qp.qp_num, qp.dest_ip):
             return
         self.counters.incr("cnp_sent")
+        self._m_cnp_sent.inc()
         cnp = qp.build_cnp()
         self.sim.schedule(self.rng.jitter_ns(500, 0.2), self.send_control, cnp)
+
+    def on_dcqcn_rate_change(self, rate_bps: int) -> None:
+        """Telemetry sink for per-QP DCQCN reaction-point rate updates."""
+        self._m_rate_updates.inc()
+        self._m_rate.set(rate_bps)
 
     # ------------------------------------------------------------------
     # Noisy-neighbor stall (§6.2.2)

@@ -173,9 +173,11 @@ class QueuePair:
         self.rnr_retry_limit = 7
         self._rnr_retry_count = 0
 
-        # DCQCN reaction point paces this QP's data transmissions.
+        # DCQCN reaction point paces this QP's data transmissions; rate
+        # updates are surfaced through the NIC's telemetry handles.
         self.dcqcn = DcqcnRp(self.sim, nic.port.bandwidth_bps,
-                             params=nic.dcqcn_params)
+                             params=nic.dcqcn_params,
+                             on_rate_change=nic.on_dcqcn_rate_change)
         self.dcqcn_enabled = True
         self._pacing_next = 0
 
@@ -225,6 +227,7 @@ class QueuePair:
         if template is not None and self._highest_psn_sent is not None and \
                 psn_geq(self._highest_psn_sent, packet.bth.psn):
             self.nic.counters.incr("retransmitted_packets")
+            self.nic._m_retrans.inc()
         if packet.bth.opcode.is_data or packet.bth.opcode == Opcode.RDMA_READ_REQUEST:
             if self._highest_psn_sent is None or psn_geq(packet.bth.psn, self._highest_psn_sent):
                 self._highest_psn_sent = packet.bth.psn
@@ -384,6 +387,7 @@ class QueuePair:
     def handle_cnp(self) -> None:
         """RP role: a CNP arrived for this QP."""
         self.nic.counters.incr("cnp_handled")
+        self.nic._m_cnp_handled.inc()
         if self.dcqcn_enabled:
             self.dcqcn.handle_cnp()
 
@@ -514,6 +518,7 @@ class QueuePair:
                 packet.aeth = AckExtendedHeader.ack(self.msn)
             if retransmit:
                 self.nic.counters.incr("retransmitted_packets")
+                self.nic._m_retrans.inc()
             self.pending_tx.append(packet)
         self.nic.notify_tx()
 
@@ -720,11 +725,13 @@ class QueuePair:
             return
         self._timeout_event = self.sim.schedule(self._current_timeout_ns(),
                                                 self._timeout_fired)
+        self.nic._m_timer_arm.inc()
 
     def _cancel_timeout(self) -> None:
         if self._timeout_event is not None:
             self._timeout_event.cancel()
             self._timeout_event = None
+            self.nic._m_timer_cancel.inc()
 
     def _timeout_fired(self) -> None:
         self._timeout_event = None
@@ -742,6 +749,12 @@ class QueuePair:
             self._timeout_event = self.sim.schedule(timeout, self._timeout_fired)
             return
         self.nic.counters.incr("local_ack_timeout_err")
+        self.nic._m_timeout.inc()
+        if self.nic._tel is not None:
+            self.nic._tel.instant(
+                "nic.retransmit", pid=self.nic.name,
+                tid=f"qp-{self.qp_num:#x}", category="recovery",
+                retry=self.retry_count + 1, psn=self.snd_una)
         self.retry_count += 1
         self._adaptive_stage += 1
         if self.retry_count > self._allowed_retries():

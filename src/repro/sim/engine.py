@@ -10,12 +10,24 @@ The engine is deliberately small: a binary heap of timestamped events,
 a monotonically increasing sequence number to break ties determinist-
 ically, and cancellation support. Coroutine-style processes are layered
 on top in :mod:`repro.sim.process`.
+
+Cancelled events are not removed from the heap eagerly (heap deletion
+is O(n)); instead the engine keeps live/cancelled counts and compacts
+the heap lazily once cancelled entries outnumber live ones — so long
+runs that arm and defuse millions of retransmission timers neither leak
+heap memory nor pay per-cancel restructuring costs.
+
+Observability: the engine itself stays telemetry-free, but exposes a
+``probe`` attribute (default ``None``). When :mod:`repro.telemetry`
+attaches a probe, the run loop times every callback on the wall clock
+and reports queue depth — one attribute check per event when disabled.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter_ns
 from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
@@ -26,6 +38,9 @@ US = 1_000
 MS = 1_000_000
 #: One second expressed in engine ticks.
 SEC = 1_000_000_000
+
+#: Queues smaller than this are never compacted (not worth the churn).
+_COMPACT_MIN_QUEUE = 64
 
 
 class SimulationError(RuntimeError):
@@ -39,18 +54,26 @@ class Event:
     work (e.g. a retransmission timer that is defused by an ACK).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing. Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -74,6 +97,10 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._live = 0        # queued events that are not cancelled
+        self._cancelled = 0   # cancelled events still sitting in the heap
+        #: Optional telemetry probe (duck-typed; see repro.telemetry).
+        self.probe = None
 
     @property
     def now(self) -> int:
@@ -87,8 +114,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (not cancelled) events still queued. O(1)."""
+        return self._live
+
+    @property
+    def queue_size(self) -> int:
+        """Heap entries, including not-yet-compacted cancelled events."""
+        return len(self._queue)
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now.
@@ -98,8 +130,9 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ns in the past")
-        event = Event(self._now + int(delay), next(self._seq), fn, args)
+        event = Event(self._now + int(delay), next(self._seq), fn, args, self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
@@ -108,9 +141,24 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
-        event = Event(int(time), next(self._seq), fn, args)
+        event = Event(int(time), next(self._seq), fn, args, self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    def _note_cancel(self) -> None:
+        """A queued event was cancelled; compact once they dominate."""
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue) \
+                and len(self._queue) >= _COMPACT_MIN_QUEUE:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortised O(n))."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
@@ -124,6 +172,7 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         budget = max_events if max_events is not None else float("inf")
+        probe = self.probe
         try:
             while self._queue and budget > 0:
                 event = self._queue[0]
@@ -131,9 +180,18 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
+                event._sim = None  # popped: late cancels are accounting no-ops
+                self._live -= 1
                 self._now = event.time
-                event.fn(*event.args)
+                if probe is None:
+                    event.fn(*event.args)
+                else:
+                    wall_start = perf_counter_ns()
+                    event.fn(*event.args)
+                    probe.record(event.fn, perf_counter_ns() - wall_start,
+                                 self._now, self._live)
                 self._processed += 1
                 budget -= 1
         finally:
@@ -147,7 +205,15 @@ class Simulator:
         return self.run(until=self._now + int(duration))
 
     def reset(self) -> None:
-        """Discard all pending events and rewind the clock to zero."""
+        """Discard pending events, rewind the clock *and* the tie-break
+        sequence, so a reset simulator reproduces the exact event IDs and
+        ordering of a fresh one (telemetry span IDs rely on this).
+        """
+        for event in self._queue:
+            event._sim = None  # detach: late cancels must not touch counts
         self._queue.clear()
         self._now = 0
         self._processed = 0
+        self._seq = itertools.count()
+        self._live = 0
+        self._cancelled = 0

@@ -24,6 +24,7 @@ from typing import List, Optional
 from ..net.link import Port
 from ..net.packet import EventType, Packet
 from ..sim.rng import SimRandom
+from ..telemetry import runtime as telemetry
 
 __all__ = ["MirrorBlock", "MirrorTarget"]
 
@@ -53,6 +54,9 @@ class MirrorBlock:
         self._targets: List[MirrorTarget] = []
         self.mirror_seq = 0          # next sequence number to assign
         self.mirrored_packets = 0
+        tel = telemetry.current()
+        self._m_mirrored = tel.counter("switch_mirrored_packets")
+        self._m_queue = tel.gauge("switch_mirror_queue_bytes")
 
     def add_target(self, port: Port, weight: int = 1) -> None:
         self._targets.append(MirrorTarget(port=port, weight=weight))
@@ -97,6 +101,8 @@ class MirrorBlock:
         target = self._pick_target()
         target.packets += 1
         target.port.send(clone)
+        self._m_mirrored.inc()
+        self._m_queue.set(target.port.queued_bytes)
         return clone
 
     def reset(self) -> None:

@@ -22,6 +22,7 @@ from ..net.link import Node, Port
 from ..net.packet import EventType, Packet
 from ..sim.engine import Simulator
 from ..sim.rng import SimRandom
+from ..telemetry import runtime as telemetry
 from .events import EventAction, EventEntry, RewriteRule
 from .itertrack import IterTracker
 from .mirror import MirrorBlock
@@ -76,6 +77,19 @@ class TofinoSwitch(Node):
         #: held packet is released anyway.
         self.reorder_release_timeout_ns = 100_000
 
+        # Telemetry handles (no-op twins when telemetry is disabled).
+        tel = telemetry.current()
+        self._tel = telemetry.active()
+        self._m_rx = tel.counter("switch_roce_rx_packets", switch=name)
+        self._m_tx = tel.counter("switch_roce_tx_packets", switch=name)
+        self._m_lookups = tel.counter("switch_event_table_lookups",
+                                      switch=name)
+        self._m_matches = {
+            action: tel.counter("switch_events_injected", switch=name,
+                                action=action)
+            for action in EventAction.ALL
+        }
+
     # ------------------------------------------------------------------
     # Topology / control plane
     # ------------------------------------------------------------------
@@ -124,6 +138,7 @@ class TofinoSwitch(Node):
         entry: Optional[EventEntry] = None
         if packet.is_roce and packet.ip is not None:
             self.roce_rx_packets += 1
+            self._m_rx.inc()
             for rule in self.rewrite_rules:
                 if rule.matches(packet):
                     rule.apply(packet)
@@ -134,12 +149,20 @@ class TofinoSwitch(Node):
                 packet.bth.psn,
             )
             if self.event_injection and packet.bth.opcode.is_data:
+                self._m_lookups.inc()
                 entry = self.event_table.lookup(
                     packet.ip.src_ip, packet.ip.dst_ip, packet.bth.dest_qp,
                     packet.bth.psn, iteration,
                 )
                 if entry is not None:
                     event_code = EventAction.CODES[entry.action]
+                    self._m_matches[entry.action].inc()
+                    if self._tel is not None:
+                        self._tel.instant(
+                            f"switch.event.{entry.action}", pid="switch",
+                            tid="ingress", category="inject",
+                            qpn=packet.bth.dest_qp, psn=packet.bth.psn,
+                            iter=iteration)
             # Mirror at ingress, before the drop takes effect (§3.4).
             if self.mirroring:
                 self.mirror.mirror(packet, self.sim.now, event_code)
@@ -189,6 +212,7 @@ class TofinoSwitch(Node):
             return
         if packet.is_roce:
             self.roce_tx_packets += 1
+            self._m_tx.inc()
             if (self.ecn_threshold_bytes is not None
                     and packet.bth.opcode.is_data
                     and packet.ip.ecn != ECN_CE

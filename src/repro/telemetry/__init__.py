@@ -1,0 +1,66 @@
+"""Runtime telemetry for the whole testbed (metrics, spans, exporters).
+
+Lumina's value is visibility into micro-behaviors; this package gives
+the *reproduction* the same property at runtime. Every layer — the
+simulation engine, the switch pipeline, the RNIC models, the dumper
+pool, the orchestrator and the fuzzer — emits into one session:
+
+* **Metrics** (:mod:`.metrics`): counters, gauges and histograms keyed
+  by name + labels, exported in Prometheus text format.
+* **Sim-time spans** (:mod:`.spans`): phases and point events stamped
+  in simulation nanoseconds with wall-clock cost alongside, exported as
+  Chrome trace-event JSON (open ``trace.json`` in Perfetto).
+* **JSONL event log** (:mod:`.export`): the same records, one JSON
+  object per line, for scripts.
+
+Telemetry is **off by default** and free when off: disabled components
+hold shared no-op metric handles and the engine skips its probe branch,
+so deterministic results are byte-identical either way (see
+:mod:`.runtime` for the guarantee and the tests that enforce it).
+
+Enable with ``--telemetry DIR`` on any CLI command, programmatically via
+:func:`enable`/:func:`disable`, or scoped with ``with
+telemetry.session("out/"):``. Summarize a run directory with
+``python -m repro telemetry-report out/``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from .spans import Tracer, SpanRecord, InstantRecord
+from .runtime import (
+    NULL_SESSION,
+    TelemetrySession,
+    active,
+    current,
+    disable,
+    enable,
+    session,
+)
+from .export import (
+    export_run,
+    jsonl_lines,
+    parse_prometheus,
+    to_chrome_trace,
+    to_prometheus,
+)
+from .instrument import SimProbe, attach_simulator, attach_testbed
+from .report import render_summary, summarize_run
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM",
+    "Tracer", "SpanRecord", "InstantRecord",
+    "TelemetrySession", "NULL_SESSION",
+    "enable", "disable", "current", "active", "session",
+    "export_run", "jsonl_lines", "parse_prometheus",
+    "to_chrome_trace", "to_prometheus",
+    "SimProbe", "attach_simulator", "attach_testbed",
+    "render_summary", "summarize_run",
+]

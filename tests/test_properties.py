@@ -99,8 +99,29 @@ class TestPsnArithmetic:
         assert not psn_geq(psn, later)
 
 
+#: PSN streams as the Fig. 3 algorithm is defined on them: a start
+#: point plus bounded steps (forward progress and Go-back-N rewinds).
+#: Unconstrained 24-bit jumps break the uniqueness claim in two ways no
+#: tracker can repair: a rewind of >= 2^23 reads as forward progress
+#: (serial-number ambiguity, forbidden by the IB transport window), and
+#: a stream whose forward travel wraps the whole 2^24 space revisits
+#: PSNs at an unchanged ITER — so forward steps are kept small enough
+#: that 59 of them cannot complete a wrap.
+_psn_steps = st.integers(min_value=-(1 << 22), max_value=(1 << 17))
+
+
+@st.composite
+def psn_streams(draw):
+    start = draw(psn_values)
+    steps = draw(st.lists(_psn_steps, min_size=0, max_size=59))
+    psns = [start]
+    for step in steps:
+        psns.append((psns[-1] + step) & 0xFFFFFF)
+    return psns
+
+
 class TestIterTrackerInvariants:
-    @given(psns=st.lists(psn_values, min_size=1, max_size=60))
+    @given(psns=psn_streams())
     def test_psn_iter_pairs_unique_per_connection(self, psns):
         # §3.3: (PSN, ITER) uniquely identifies every packet.
         tracker = IterTracker()

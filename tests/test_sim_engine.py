@@ -106,6 +106,44 @@ class TestCancellation:
         event.cancel()
         assert sim.pending == 1
 
+    def test_heap_compacts_when_cancelled_dominate(self, sim):
+        events = [sim.schedule(1000 + i, lambda: None) for i in range(100)]
+        assert sim.queue_size == 100
+        for event in events[:60]:
+            event.cancel()
+        # Once cancelled entries outnumbered live ones the heap was
+        # compacted (at the 51st cancel), shedding the dead entries.
+        assert sim.pending == 40
+        assert sim.queue_size < 60
+        assert sim.queue_size >= sim.pending
+
+    def test_small_queues_are_never_compacted(self, sim):
+        events = [sim.schedule(10 + i, lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        assert sim.queue_size == 10  # below the compaction floor
+        assert sim.pending == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_compaction_preserves_order_and_results(self, sim):
+        seen = []
+        events = [sim.schedule(100 + i, seen.append, i) for i in range(200)]
+        for event in events[::2]:  # cancel every other event
+            event.cancel()
+        sim.run()
+        assert seen == list(range(1, 200, 2))
+
+    def test_cancel_after_fire_keeps_accounting_sane(self, sim):
+        event = sim.schedule(10, lambda: None)
+        survivor = sim.schedule(20, lambda: None)
+        sim.run(until=15)
+        event.cancel()  # already fired: must not corrupt live count
+        assert sim.pending == 1
+        sim.run()
+        assert sim.events_processed == 2
+        del survivor
+
 
 class TestRunControl:
     def test_run_until_stops_before_later_events(self, sim):
@@ -163,6 +201,27 @@ class TestRunControl:
         assert sim.now == 0
         sim.run()
         assert seen == []
+
+    def test_reset_restarts_tiebreak_sequence(self, sim):
+        """A reset simulator reproduces a fresh one's same-tick ordering."""
+        def same_tick_order():
+            order = []
+            for tag in range(5):
+                sim.schedule(50, order.append, tag)
+            sim.run()
+            return order
+
+        first = same_tick_order()
+        sim.reset()
+        assert same_tick_order() == first == list(range(5))
+
+    def test_reset_detaches_queued_events(self, sim):
+        stale = sim.schedule(10, lambda: None)
+        sim.reset()
+        fresh = sim.schedule(10, lambda: None)
+        stale.cancel()  # pre-reset event: must not touch the new counts
+        assert sim.pending == 1
+        del fresh
 
 
 class TestTimeConstants:

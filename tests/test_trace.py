@@ -79,6 +79,28 @@ class TestReconstruction:
         trace = reconstruct_trace([])
         assert len(trace) == 0
         assert trace.connections() == []
+        assert trace.find((1, 2, 9), 10) is None
+
+    def test_for_connection_preserves_trace_order(self):
+        records = [
+            mirrored(0, 10, qpn=1),
+            mirrored(1, 50, qpn=2),
+            mirrored(2, 11, qpn=1),
+            mirrored(3, 10, qpn=1),  # retransmission, later in the trace
+        ]
+        trace = reconstruct_trace(records)
+        conn1 = trace.for_connection((1, 2, 1))
+        assert [p.mirror_seq for p in conn1] == [0, 2, 3]
+        assert [p.mirror_seq for p in trace.for_connection((1, 2, 2))] == [1]
+        assert trace.for_connection((9, 9, 9)) == []
+
+    def test_find_returns_first_match(self):
+        # Two packets with the same (conn, PSN, ITER) identity: find()
+        # must return the earlier one, like the original linear scan.
+        records = [mirrored(0, 10), mirrored(1, 11), mirrored(2, 11)]
+        trace = reconstruct_trace(records)
+        trace.packets[2].iteration = 1  # force an identity collision
+        assert trace.find((1, 2, 9), 11, 1).mirror_seq == 1
 
 
 class TestIntegrity:
