@@ -1,0 +1,111 @@
+"""Parallel campaign scaling — runs/sec at 1, 2 and 4 workers.
+
+Runs the same deterministic fuzzing campaign (fixed seed, fixed
+``batch_size``, so an identical generation schedule) at each worker
+count and reports campaign throughput. Two claims are checked:
+
+* **Determinism always**: the report fingerprint must be identical for
+  every worker count — the batched schedule makes worker count an
+  execution detail, never a behavioural one.
+* **Scaling where possible**: on a machine with >= 4 usable cores the
+  4-worker campaign must reach >= 2x the serial throughput. On smaller
+  machines (CI runners are often 1-2 cores) the numbers are recorded
+  but the speedup assertion is skipped — a 1-core box physically
+  cannot run simulations concurrently.
+
+Besides the usual results table, writes machine-readable
+``benchmarks/results/BENCH_parallel.json`` for tracking across runs.
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, emit
+
+from repro import quick_config
+from repro.core.fuzz import LuminaFuzzer
+
+SEED = 7
+ITERATIONS = 12
+BATCH = 4
+WORKER_COUNTS = (1, 2, 4)
+MIN_CORES_FOR_SCALING_CLAIM = 4
+MIN_SPEEDUP_AT_4 = 2.0
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _base_config():
+    # Heavy enough that simulation dominates pool overhead, light
+    # enough that the serial baseline stays a few seconds.
+    return quick_config(nic="e810", verb="write", num_msgs=10,
+                        message_size=102400, num_connections=2)
+
+
+def _campaign(workers: int):
+    fuzzer = LuminaFuzzer(_base_config(), seed=SEED, anomaly_threshold=2.5)
+    start = time.perf_counter()
+    report = fuzzer.run(iterations=ITERATIONS, batch_size=BATCH,
+                        workers=workers)
+    return report, time.perf_counter() - start
+
+
+def _fingerprint(report):
+    return (report.iterations_run, report.invalid_runs,
+            tuple(round(s, 9) for s in report.pool_scores),
+            tuple((f.iteration, round(f.score.total, 9))
+                  for f in report.findings))
+
+
+def test_parallel_scaling(benchmark):
+    cpus = _cpus()
+    series = []
+    fingerprints = []
+    for workers in WORKER_COUNTS:
+        report, elapsed = _campaign(workers)
+        fingerprints.append(_fingerprint(report))
+        series.append({
+            "workers": workers,
+            "seconds": round(elapsed, 3),
+            "runs_per_sec": round(ITERATIONS / elapsed, 2),
+        })
+    baseline = series[0]["seconds"]
+    for row in series:
+        row["speedup"] = round(baseline / row["seconds"], 2)
+
+    deterministic = all(fp == fingerprints[0] for fp in fingerprints)
+    payload = {
+        "workload": {"nic": "e810", "iterations": ITERATIONS,
+                     "batch_size": BATCH, "seed": SEED},
+        "machine": {"cpus": cpus},
+        "series": series,
+        "deterministic": deterministic,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"fuzz campaign: {ITERATIONS} iterations, batch {BATCH}, "
+             f"seed {SEED}, e810  ({cpus} cpu(s))",
+             f"{'workers':>8s} {'seconds':>9s} {'runs/s':>8s} {'speedup':>8s}"]
+    for row in series:
+        lines.append(f"{row['workers']:>8d} {row['seconds']:>9.3f} "
+                     f"{row['runs_per_sec']:>8.2f} {row['speedup']:>7.2f}x")
+    lines.append(f"deterministic across worker counts: {deterministic}")
+    emit("BENCH_parallel", lines)
+
+    assert deterministic, "campaign reports diverged across worker counts"
+    if cpus >= MIN_CORES_FOR_SCALING_CLAIM:
+        speedup4 = series[-1]["speedup"]
+        assert speedup4 >= MIN_SPEEDUP_AT_4, (
+            f"expected >= {MIN_SPEEDUP_AT_4}x at 4 workers on a "
+            f"{cpus}-core machine, measured {speedup4}x")
+
+    # One serial campaign as the pytest-benchmark row.
+    benchmark.pedantic(_campaign, args=(1,), rounds=1, iterations=1)

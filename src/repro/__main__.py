@@ -7,10 +7,18 @@ Commands:
 * ``fuzz <config.json>``  — fuzz around a base config (Algorithm 1);
   ``--target {general,noisy-neighbor,counter-bugs}`` uses a preset.
 * ``suite <nic>``         — run the conformance battery (scorecard).
+* ``sweep``               — benchmark sweep: one workload across a
+  NIC × seed grid, reporting per-run summaries and runs/sec.
 * ``incast``              — run an N-to-1 fan-in workload.
 * ``nics``                — list the built-in NIC behaviour profiles.
 * ``example-config``      — print a ready-to-edit JSON config.
 * ``telemetry-report <dir>`` — summarize a ``--telemetry`` output dir.
+
+``fuzz``, ``suite`` and ``sweep`` accept ``--workers N``: the campaign
+fans out over a spawn-safe process pool (``repro.exec``) and falls
+back to in-process serial execution if the pool dies. Results are
+byte-identical for any worker count — for ``fuzz`` the generation
+schedule is fixed by ``--batch``, not by ``--workers``.
 
 ``run``, ``fuzz``, ``suite`` and ``incast`` accept ``--telemetry DIR``:
 the run executes with telemetry enabled and writes a Chrome trace
@@ -94,7 +102,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         fuzzer = LuminaFuzzer(config, seed=args.seed or config.seed,
                               anomaly_threshold=args.threshold)
     report = fuzzer.run(iterations=args.iterations,
-                        stop_on_first=args.stop_on_first)
+                        stop_on_first=args.stop_on_first,
+                        workers=args.workers, batch_size=args.batch)
     print(f"iterations: {report.iterations_run}  "
           f"findings: {len(report.findings)}  "
           f"invalid: {report.invalid_runs}")
@@ -107,9 +116,71 @@ def cmd_suite(args: argparse.Namespace) -> int:
     from .core.suite import run_conformance_suite
 
     card = run_conformance_suite(args.nic, seed=args.seed,
-                                 checks=args.checks or None)
+                                 checks=args.checks or None,
+                                 workers=args.workers)
     print(card.render())
     return 0 if card.all_passed else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+    from dataclasses import replace
+
+    from .core.config import HostConfig
+
+    nics = [n.strip() for n in args.nics.split(",") if n.strip()]
+    configs = []
+    cells = []
+    for nic in nics:
+        for offset in range(args.seeds):
+            seed = args.base_seed + offset
+            if args.config:
+                base = _load_config(args.config, seed)
+                config = replace(
+                    base,
+                    requester=replace(base.requester, nic_type=nic),
+                    responder=replace(base.responder, nic_type=nic),
+                )
+            else:
+                from . import quick_config
+
+                config = quick_config(nic=nic, verb=args.verb,
+                                      num_connections=args.connections,
+                                      num_msgs=args.messages,
+                                      message_size=args.size, seed=seed)
+            configs.append(config)
+            cells.append((nic, seed))
+
+    from .exec import ParallelRunner
+    from .exec.tasks import run_summary_task
+
+    started = time.perf_counter()
+    with ParallelRunner(run_summary_task, workers=args.workers,
+                        task_timeout_s=args.timeout) as runner:
+        outcomes = runner.map([{"config": c} for c in configs])
+    elapsed = time.perf_counter() - started
+
+    print(f"{'nic':<6s}{'seed':>6s}{'ok':>5s}{'mct_us':>10s}"
+          f"{'retrans':>9s}{'timeouts':>10s}{'sim_ms':>9s}")
+    print("-" * 55)
+    failures = 0
+    for (nic, seed), outcome in zip(cells, outcomes):
+        if not outcome.ok:
+            failures += 1
+            print(f"{nic:<6s}{seed:>6d}  ERR  {outcome.error}")
+            continue
+        s = outcome.value
+        if not s["ok"]:
+            failures += 1
+        print(f"{nic:<6s}{seed:>6d}{'yes' if s['ok'] else 'NO':>5s}"
+              f"{s['avg_mct_us']:>10.1f}{s['retransmitted']:>9d}"
+              f"{s['timeouts']:>10d}{s['duration_ns'] / 1e6:>9.2f}")
+    rate = len(configs) / elapsed if elapsed > 0 else 0.0
+    print("-" * 55)
+    print(f"{len(configs)} runs in {elapsed:.2f}s "
+          f"({rate:.2f} runs/s, workers={args.workers}, "
+          f"crashes={runner.stats.worker_crashes})")
+    return 1 if failures else 0
 
 
 def cmd_incast(args: argparse.Namespace) -> int:
@@ -205,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--seed", type=int, default=None)
     fuzz_p.add_argument("--threshold", type=float, default=3.0)
     fuzz_p.add_argument("--stop-on-first", action="store_true")
+    fuzz_p.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for scoring candidates "
+                             "(default: 1, in-process)")
+    fuzz_p.add_argument("--batch", type=int, default=4,
+                        help="candidates generated per pool snapshot; "
+                             "fixes the schedule independently of "
+                             "--workers (default: 4)")
     fuzz_p.add_argument("--telemetry", metavar="DIR", default=None,
                         help="collect runtime telemetry and export to DIR")
     fuzz_p.set_defaults(func=cmd_fuzz)
@@ -215,9 +293,33 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--seed", type=int, default=77)
     suite_p.add_argument("--checks", nargs="*",
                          help="subset of checks to run (default: all)")
+    suite_p.add_argument("--workers", type=int, default=1,
+                         help="process-pool size for running checks")
     suite_p.add_argument("--telemetry", metavar="DIR", default=None,
                          help="collect runtime telemetry and export to DIR")
     suite_p.set_defaults(func=cmd_suite)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="benchmark sweep: one workload across NICs x seeds")
+    sweep_p.add_argument("config", nargs="?",
+                         help="JSON base config (default: built-in workload)")
+    sweep_p.add_argument("--nics", default="cx4,cx5,cx6,e810",
+                         help="comma-separated NIC models")
+    sweep_p.add_argument("--seeds", type=int, default=1,
+                         help="seeds per NIC (base-seed, base-seed+1, ...)")
+    sweep_p.add_argument("--base-seed", type=int, default=1)
+    sweep_p.add_argument("--verb", default="write",
+                         help="verb for the built-in workload")
+    sweep_p.add_argument("--connections", type=int, default=2)
+    sweep_p.add_argument("--messages", type=int, default=4)
+    sweep_p.add_argument("--size", type=int, default=20480)
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="process-pool size for the sweep")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="per-run timeout in seconds")
+    sweep_p.add_argument("--telemetry", metavar="DIR", default=None,
+                         help="collect runtime telemetry and export to DIR")
+    sweep_p.set_defaults(func=cmd_sweep)
 
     incast_p = sub.add_parser("incast",
                               help="run an N-to-1 incast workload")

@@ -10,13 +10,22 @@ the search, as in the paper's pseudocode).
 
 Everything is deterministic given the fuzzer seed: per-iteration run
 seeds derive from it, so any finding replays exactly.
+
+Campaign execution is *batched*: each generation draws a batch of K
+candidates from the current pool snapshot (consuming the fuzzer RNG
+candidate-by-candidate), runs and scores all K — in-process, or fanned
+out over a :class:`repro.exec.ParallelRunner` process pool — and only
+then applies median selection sequentially in candidate order. All RNG
+consumption lives in the sequential phases, so for a fixed
+``batch_size`` the report is byte-identical for **any** worker count;
+``batch_size=1`` degenerates to the paper's strictly serial schedule.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field, replace
-from statistics import median
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ...sim.rng import SimRandom
 from ...telemetry import runtime as telemetry
@@ -82,7 +91,10 @@ class LuminaFuzzer:
         self.pool: List[TrafficConfig] = list(initial_pool or [])
         if not self.pool:
             self.pool = self._default_pool()
-        self._pool_scores: List[float] = [0.0] * len(self.pool)
+        # Selection needs the pool *median*: keep the scores sorted
+        # (insort is O(n) worst case but tiny next to a simulation run)
+        # so each lookup is O(1) instead of statistics.median's sort.
+        self._pool_scores: List[float] = sorted([0.0] * len(self.pool))
         self._next_seed = seed * 1_000_003 + 7
 
     def _default_pool(self) -> List[TrafficConfig]:
@@ -96,8 +108,91 @@ class LuminaFuzzer:
         self._next_seed += 1
         return replace(self.base_config, traffic=traffic, seed=self._next_seed)
 
-    def run(self, iterations: int = 20, stop_on_first: bool = False) -> FuzzReport:
-        """Run the fuzzing loop for at most ``iterations`` rounds."""
+    def _pool_median(self) -> float:
+        """Median of the (sorted) pool scores; 0.0 for an empty pool."""
+        scores = self._pool_scores
+        n = len(scores)
+        if not n:
+            return 0.0
+        mid = n // 2
+        if n % 2:
+            return scores[mid]
+        return (scores[mid - 1] + scores[mid]) / 2
+
+    def _admit(self, candidate: TrafficConfig, total: float) -> None:
+        self.pool.append(candidate)
+        insort(self._pool_scores, total)
+
+    # ------------------------------------------------------------------
+    # Batch phases
+    # ------------------------------------------------------------------
+    def _generate_batch(self, k: int) -> List[Tuple[TrafficConfig, TestConfig]]:
+        """Step 2, batched: draw K candidates from the pool snapshot.
+
+        Consumes the fuzzer RNG candidate-by-candidate — entirely
+        sequential, so the schedule is independent of how the batch is
+        later executed.
+        """
+        batch = []
+        for _ in range(k):
+            gamma = self.rng.choice(self.pool)
+            candidate = mutate(gamma, self.rng,
+                               rounds=self.rng.choice([1, 1, 2]))
+            batch.append((candidate, self._config_for(candidate)))
+        return batch
+
+    def _score_batch(self, batch: Sequence[Tuple[TrafficConfig, TestConfig]],
+                     runner, first_iteration: int) -> List[Optional[Score]]:
+        """Step 3, batched: run + score every candidate.
+
+        With a runner, candidates execute in pool workers which ship
+        back only the compact :class:`Score` (never the trace). A
+        candidate whose execution fails outright maps to ``None`` and
+        is later counted as an invalid run.
+        """
+        tel = telemetry.current()
+        if runner is not None:
+            with tel.wall_span("fuzz.batch", pid="fuzzer", category="fuzz",
+                               first_iteration=first_iteration,
+                               size=len(batch)) as span:
+                outcomes = runner.map([
+                    {"config": config, "weights": self.weights}
+                    for _, config in batch
+                ])
+                scores = [o.value if o.ok else None for o in outcomes]
+                span.set(failed=sum(1 for s in scores if s is None))
+            return scores
+        scores = []
+        for offset, (_, config) in enumerate(batch):
+            # Each iteration spawns an independent sim starting at t=0,
+            # so the generation span lives on the wall-clock lane.
+            with tel.wall_span("fuzz.generation", pid="fuzzer",
+                               category="fuzz",
+                               iteration=first_iteration + offset) as span:
+                result = self._run(config)
+                score = score_result(result, self.weights)
+                span.set(score=round(score.total, 3), valid=score.valid)
+            scores.append(score)
+        return scores
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int = 20, stop_on_first: bool = False,
+            workers: int = 1, batch_size: int = 1,
+            runner=None) -> FuzzReport:
+        """Run the fuzzing loop for at most ``iterations`` rounds.
+
+        ``batch_size`` fixes the generation schedule (how many
+        candidates are drawn per pool snapshot); ``workers`` only
+        decides how each batch is executed. Reports are therefore
+        byte-identical across worker counts for a given
+        ``batch_size``, and ``batch_size=1`` (the default) reproduces
+        the historical strictly-serial schedule exactly.
+
+        A ``runner`` may be injected (for pool reuse across campaigns
+        or for tests); otherwise one is created when ``workers > 1``.
+        Pool execution requires the default ``run_test`` runner — a
+        custom ``run_fn`` keeps scoring in-process.
+        """
         report = FuzzReport()
         tel = telemetry.current()
         m_iters = tel.counter("fuzz_iterations")
@@ -105,41 +200,50 @@ class LuminaFuzzer:
         m_findings = tel.counter("fuzz_findings")
         h_score = tel.histogram("fuzz_score",
                                 buckets=(0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0))
-        for iteration in range(1, iterations + 1):
-            report.iterations_run = iteration
-            m_iters.inc()
-            # Step 2: pick + mutate.
-            gamma = self.rng.choice(self.pool)
-            candidate = mutate(gamma, self.rng,
-                               rounds=self.rng.choice([1, 1, 2]))
-            # Each iteration spawns an independent sim starting at t=0,
-            # so the generation span lives on the wall-clock lane.
-            with tel.wall_span("fuzz.generation", pid="fuzzer",
-                               category="fuzz", iteration=iteration) as span:
-                # Run Lumina with the mutated configuration.
-                result = self._run(self._config_for(candidate))
-                # Step 3: score.
-                score = score_result(result, self.weights)
-                span.set(score=round(score.total, 3), valid=score.valid)
-            if not score.valid:
-                report.invalid_runs += 1
-                m_invalid.inc()
-                continue
-            h_score.observe(score.total)
-            # Step 4: selection against the pool median.
-            current_median = median(self._pool_scores) if self._pool_scores else 0.0
-            if score.total >= current_median or \
-                    self.rng.random() < self.keep_probability:
-                self.pool.append(candidate)
-                self._pool_scores.append(score.total)
-            report.pool_scores.append(score.total)
-            if score.total >= self.anomaly_threshold:
-                m_findings.inc()
-                report.findings.append(FuzzFinding(
-                    iteration=iteration,
-                    config=self._config_for(candidate),
-                    score=score,
-                ))
-                if stop_on_first:
-                    break
+        batch_size = max(1, batch_size)
+        owns_runner = False
+        if runner is None and workers > 1 and self._run is run_test:
+            from ...exec import ParallelRunner
+            from ...exec.tasks import score_config_task
+
+            runner = ParallelRunner(score_config_task, workers=workers)
+            owns_runner = True
+        try:
+            completed = 0
+            stopped = False
+            while completed < iterations and not stopped:
+                batch = self._generate_batch(
+                    min(batch_size, iterations - completed))
+                scores = self._score_batch(batch, runner, completed + 1)
+                # Step 4: selection — sequential, in candidate order, so
+                # every RNG draw happens on the parent's single stream.
+                for offset, ((candidate, _), score) in enumerate(
+                        zip(batch, scores)):
+                    iteration = completed + offset + 1
+                    report.iterations_run = iteration
+                    m_iters.inc()
+                    if score is None or not score.valid:
+                        report.invalid_runs += 1
+                        m_invalid.inc()
+                        continue
+                    h_score.observe(score.total)
+                    current_median = self._pool_median()
+                    if score.total >= current_median or \
+                            self.rng.random() < self.keep_probability:
+                        self._admit(candidate, score.total)
+                    report.pool_scores.append(score.total)
+                    if score.total >= self.anomaly_threshold:
+                        m_findings.inc()
+                        report.findings.append(FuzzFinding(
+                            iteration=iteration,
+                            config=self._config_for(candidate),
+                            score=score,
+                        ))
+                        if stop_on_first:
+                            stopped = True
+                            break
+                completed += len(batch)
+        finally:
+            if owns_runner:
+                runner.close()
         return report

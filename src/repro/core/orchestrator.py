@@ -26,7 +26,7 @@ from .testbed import Host, Testbed, build_testbed
 from .trace import check_integrity, reconstruct_trace
 from .trafficgen import TrafficSession
 
-__all__ = ["Orchestrator", "run_test"]
+__all__ = ["Orchestrator", "run_test", "run_tests"]
 
 
 class Orchestrator:
@@ -124,3 +124,32 @@ def run_test(config: TestConfig,
              rewrite_rules: Optional[List[RewriteRule]] = None) -> TestResult:
     """Convenience one-shot: build, run and collect a test."""
     return Orchestrator(config, rewrite_rules=rewrite_rules).run()
+
+
+def run_tests(configs: List[TestConfig], workers: int = 1,
+              task_timeout_s: Optional[float] = None) -> List[TestResult]:
+    """Run a batch of independent tests, optionally on a process pool.
+
+    Results come back in config order and are identical for any worker
+    count (each run is seed-deterministic and fully isolated). Full
+    :class:`TestResult` objects — traces included — cross the process
+    boundary, so for very large campaigns prefer a compact task
+    (see :mod:`repro.exec.tasks`) over this convenience.
+
+    Raises ``RuntimeError`` if any run fails outright; worker crashes
+    are retried and fall back to in-process execution first.
+    """
+    if workers <= 1:
+        return [run_test(config) for config in configs]
+    from ..exec import ParallelRunner
+    from ..exec.tasks import run_config_task
+
+    with ParallelRunner(run_config_task, workers=workers,
+                        task_timeout_s=task_timeout_s) as runner:
+        outcomes = runner.map([{"config": config} for config in configs])
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} of {len(configs)} runs failed; first: "
+            f"{failures[0].error}")
+    return [o.value for o in outcomes]

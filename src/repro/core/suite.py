@@ -355,13 +355,44 @@ CHECKS: Dict[str, Callable[[str, int], CheckResult]] = {
 
 
 def run_conformance_suite(nic: str, seed: int = 77,
-                          checks: Optional[List[str]] = None) -> Scorecard:
-    """Run the standard battery (or a subset) against one NIC model."""
+                          checks: Optional[List[str]] = None,
+                          workers: int = 1, runner=None) -> Scorecard:
+    """Run the standard battery (or a subset) against one NIC model.
+
+    Checks are independent (each builds its own testbed from the same
+    seed), so with ``workers > 1`` they execute on a
+    :class:`repro.exec.ParallelRunner` process pool. The scorecard is
+    identical for any worker count: results keep battery order and
+    each check's verdict depends only on ``(nic, seed)``. A check
+    whose *execution* dies (worker lost and unrecoverable) reports as
+    a failed check rather than aborting the battery.
+    """
     selected = checks or list(CHECKS)
     unknown = set(selected) - set(CHECKS)
     if unknown:
         raise KeyError(f"unknown checks: {sorted(unknown)}")
     card = Scorecard(nic=nic)
-    for name in selected:
-        card.results.append(CHECKS[name](nic, seed))
+    if workers <= 1 and runner is None:
+        for name in selected:
+            card.results.append(CHECKS[name](nic, seed))
+        return card
+
+    from ..exec import ParallelRunner
+    from ..exec.tasks import run_check_task
+
+    owns_runner = runner is None
+    if owns_runner:
+        runner = ParallelRunner(run_check_task, workers=workers)
+    try:
+        outcomes = runner.map([{"check": name, "nic": nic, "seed": seed}
+                               for name in selected])
+    finally:
+        if owns_runner:
+            runner.close()
+    for name, outcome in zip(selected, outcomes):
+        if outcome.ok:
+            card.results.append(outcome.value)
+        else:
+            card.results.append(CheckResult(
+                name, False, f"execution failed: {outcome.error}"))
     return card

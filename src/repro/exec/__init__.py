@@ -1,0 +1,19 @@
+"""Parallel campaign execution.
+
+Lumina campaigns — fuzzing generations, conformance batteries,
+benchmark sweeps — are bags of independent, seed-deterministic
+simulations. This package fans them out over a spawn-safe process pool
+while keeping results byte-identical to serial execution:
+
+* :class:`ParallelRunner` — the pool itself: per-task timeouts,
+  retry-on-worker-crash, graceful in-process fallback, per-worker
+  telemetry merge.
+* :mod:`repro.exec.tasks` — the picklable task functions (score a fuzz
+  candidate, run a conformance check, summarise a sweep run).
+* :mod:`repro.exec.worker` — the worker-side shim that wraps each task
+  in a worker-local telemetry session.
+"""
+
+from .runner import ParallelRunner, RunnerStats, TaskOutcome
+
+__all__ = ["ParallelRunner", "RunnerStats", "TaskOutcome"]

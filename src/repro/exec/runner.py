@@ -1,0 +1,246 @@
+"""Process-pool campaign runner.
+
+Lumina's value comes from running *many* tests, and every
+``run_test`` is an independent, seed-deterministic simulation — a
+perfect fan-out target. :class:`ParallelRunner` maps picklable task
+payloads over a ``spawn``-safe :class:`~concurrent.futures.\
+ProcessPoolExecutor` and hides the operational sharp edges:
+
+* ``workers=1`` (or an unavailable pool) degrades to in-process serial
+  execution with identical semantics,
+* per-task timeouts kill the wedged pool and carry on,
+* a worker crash (``BrokenProcessPool``) re-runs the affected tasks on
+  a fresh pool, and after ``max_retries`` attempts runs them in-process
+  so a dying pool never loses campaign work,
+* per-worker telemetry registries are snapshotted in the worker and
+  merged into the parent's active session in task order, keeping
+  merged metrics deterministic for any worker count.
+
+Determinism contract: the runner never reorders results (outcome ``i``
+always corresponds to payload ``i``) and injects no randomness, so any
+campaign whose tasks are themselves deterministic produces identical
+results for every value of ``workers``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..telemetry import runtime as telemetry
+from . import worker as worker_mod
+
+__all__ = ["TaskOutcome", "RunnerStats", "ParallelRunner"]
+
+#: Consecutive pool breakages after which the runner stops rebuilding
+#: pools and finishes the campaign in-process.
+_MAX_POOL_BREAKS = 3
+
+
+@dataclass
+class TaskOutcome:
+    """Result envelope for one mapped payload (same index as input)."""
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    ran_in_process: bool = False
+
+
+@dataclass
+class RunnerStats:
+    """Operational counters accumulated across ``map`` calls."""
+
+    tasks_completed: int = 0
+    tasks_failed: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    in_process_runs: int = 0
+    pools_created: int = 0
+
+
+class ParallelRunner:
+    """Maps payloads through a task function on a process pool.
+
+    ``task_fn`` must be a module-level callable (pickled by reference
+    into ``spawn``-ed workers) taking one picklable payload and
+    returning one picklable value.
+    """
+
+    def __init__(self, task_fn: Callable[[Any], Any], workers: int = 1,
+                 mp_context: str = "spawn",
+                 task_timeout_s: Optional[float] = None,
+                 max_retries: int = 2):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.task_fn = task_fn
+        self.workers = workers
+        self.task_timeout_s = task_timeout_s
+        self.max_retries = max(1, max_retries)
+        self.stats = RunnerStats()
+        self._mp_context = mp_context
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_dead = False
+        self._pool_breaks = 0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+        """The live pool, a fresh one, or None when pools are unusable."""
+        if self._pool is not None:
+            return self._pool
+        if self._pool_dead or self.workers <= 1:
+            return None
+        try:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(self._mp_context),
+                initializer=worker_mod.init_worker,
+            )
+            self.stats.pools_created += 1
+        except Exception:
+            # The platform cannot give us a pool (no semaphores, no
+            # spawn support, ...): run the whole campaign in-process.
+            self._pool_dead = True
+            self._pool = None
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down hard (used on timeout / worker crash)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        # shutdown() leaves workers running their current task; a
+        # wedged task would otherwise stall interpreter exit.
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        self._pool_breaks += 1
+        if self._pool_breaks >= _MAX_POOL_BREAKS:
+            self._pool_dead = True
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run_in_process(self, index: int, payload: Any,
+                        attempts: int = 1) -> TaskOutcome:
+        self.stats.in_process_runs += 1
+        try:
+            value = self.task_fn(payload)
+        except Exception as exc:
+            self.stats.tasks_failed += 1
+            return TaskOutcome(index=index, ok=False,
+                               error=f"{type(exc).__name__}: {exc}",
+                               attempts=attempts, ran_in_process=True)
+        self.stats.tasks_completed += 1
+        return TaskOutcome(index=index, ok=True, value=value,
+                           attempts=attempts, ran_in_process=True)
+
+    def map(self, payloads: Sequence[Any]) -> List[TaskOutcome]:
+        """Run every payload; outcomes come back in payload order.
+
+        Never raises for task-level failures — inspect the outcomes.
+        """
+        n = len(payloads)
+        outcomes: List[Optional[TaskOutcome]] = [None] * n
+        session = telemetry.active()
+        collect = session is not None and self.workers > 1
+
+        pending = list(range(n))
+        attempts = [0] * n
+        snapshots: dict = {}
+        while pending:
+            pool = self._ensure_pool()
+            if pool is None:
+                for i in pending:
+                    outcomes[i] = self._run_in_process(
+                        i, payloads[i], attempts=attempts[i] + 1)
+                break
+            futures = {
+                i: pool.submit(worker_mod.invoke, self.task_fn,
+                               payloads[i], collect)
+                for i in pending
+            }
+            next_pending: List[int] = []
+            broken = False
+            for i in pending:
+                if broken:
+                    # The pool died mid-batch; everything still
+                    # outstanding goes around again on a fresh pool.
+                    next_pending.append(i)
+                    continue
+                try:
+                    value, snap = futures[i].result(
+                        timeout=self.task_timeout_s)
+                except concurrent.futures.TimeoutError:
+                    # The worker is wedged; nothing safe to do but
+                    # abandon the task and replace the pool.
+                    self.stats.timeouts += 1
+                    self.stats.tasks_failed += 1
+                    outcomes[i] = TaskOutcome(
+                        index=i, ok=False, attempts=attempts[i] + 1,
+                        error=f"timed out after {self.task_timeout_s}s")
+                    self._kill_pool()
+                    broken = True
+                except (BrokenProcessPool,
+                        concurrent.futures.CancelledError):
+                    self.stats.worker_crashes += 1
+                    attempts[i] += 1
+                    if attempts[i] >= self.max_retries:
+                        # Last resort: run where a crash cannot be
+                        # papered over. The campaign keeps its result.
+                        outcomes[i] = self._run_in_process(
+                            i, payloads[i], attempts=attempts[i] + 1)
+                    else:
+                        next_pending.append(i)
+                    self._kill_pool()
+                    broken = True
+                except Exception as exc:
+                    # The task itself raised (pool is fine). Tasks are
+                    # deterministic, so retrying would fail the same way.
+                    self.stats.tasks_failed += 1
+                    outcomes[i] = TaskOutcome(
+                        index=i, ok=False, attempts=attempts[i] + 1,
+                        error=f"{type(exc).__name__}: {exc}")
+                else:
+                    self.stats.tasks_completed += 1
+                    outcomes[i] = TaskOutcome(
+                        index=i, ok=True, value=value,
+                        attempts=attempts[i] + 1)
+                    if snap:
+                        snapshots[i] = snap
+            if not broken:
+                self._pool_breaks = 0
+            pending = next_pending
+
+        # Merge worker telemetry in task order so the parent registry
+        # is identical for any worker count / completion order.
+        if session is not None:
+            for i in sorted(snapshots):
+                session.registry.merge(snapshots[i])
+        return outcomes  # type: ignore[return-value]

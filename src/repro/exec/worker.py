@@ -1,0 +1,50 @@
+"""Worker-side shim for the parallel campaign runner.
+
+Everything here must be importable by a freshly ``spawn``-ed process:
+the :class:`~repro.exec.runner.ParallelRunner` submits
+``invoke(task_fn, payload, collect_telemetry)`` to the pool, and the
+child pickles ``task_fn`` *by reference* — so task functions must be
+plain module-level callables (see :mod:`repro.exec.tasks`).
+
+Each invocation optionally runs under a private, worker-local
+telemetry session. The session's metrics registry is snapshotted into
+a plain, picklable structure and shipped back alongside the task value
+so the parent can merge it into its own registry (span traces stay in
+the worker; only metrics cross the process boundary — they are compact
+and mergeable, traces are neither).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+#: True inside pool workers (set by the pool initializer). Task
+#: functions may consult this to tell pool execution apart from the
+#: in-process fallback path; the runner's fault-injection tests rely
+#: on it to crash only inside an expendable worker process.
+IN_WORKER = False
+
+
+def init_worker() -> None:
+    """Pool initializer: mark this process as an expendable worker."""
+    global IN_WORKER
+    IN_WORKER = True
+
+
+def invoke(task_fn: Callable[[Any], Any], payload: Any,
+           collect_telemetry: bool) -> Tuple[Any, Optional[list]]:
+    """Run one task, optionally under a worker-local telemetry session.
+
+    Returns ``(value, metrics_snapshot_or_None)``. Raises whatever the
+    task raises — the parent maps exceptions to error outcomes.
+    """
+    if not collect_telemetry:
+        return task_fn(payload), None
+    from ..telemetry import runtime as telemetry
+
+    session = telemetry.enable(None)
+    try:
+        value = task_fn(payload)
+        return value, session.registry.snapshot()
+    finally:
+        telemetry.disable()

@@ -12,6 +12,7 @@ implementation keeps per-packet cost low in large simulations.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List
 
 __all__ = ["crc32_ib", "icrc_for"]
@@ -42,6 +43,7 @@ def crc32_ib(data: bytes, crc: int = 0xFFFFFFFF) -> int:
     return crc ^ 0xFFFFFFFF
 
 
+@lru_cache(maxsize=4096)
 def icrc_for(transport_bytes: bytes, payload_len: int) -> int:
     """The iCRC an RNIC would compute for a packet.
 
@@ -49,6 +51,11 @@ def icrc_for(transport_bytes: bytes, payload_len: int) -> int:
     payload is simulated, so it contributes as ``payload_len`` zero
     bytes. Volatile IP fields are already excluded by construction —
     the simulation masks them by simply not including the IP header.
+
+    Memoised: traffic generators emit long trains of identical
+    transport headers (only the virtual payload differs in length), so
+    the ``(transport_bytes, payload_len)`` key repeats constantly and
+    the zero-fold over the payload dominates an uncached call.
     """
     crc = 0xFFFFFFFF
     for byte in transport_bytes:

@@ -82,6 +82,14 @@ class Packet:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     #: True on mirrored copies (set by the switch mirror block).
     is_mirror: bool = False
+    # Wire-format caches. Headers are immutable between explicit switch
+    # rewrites, so serialisation results are reused until a mutation
+    # path calls :meth:`invalidate_wire_cache`. Excluded from equality:
+    # a cached and an uncached packet are the same packet.
+    _packed_headers: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False)
+    _icrc_clean: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -128,8 +136,22 @@ class Packet:
     # ------------------------------------------------------------------
     # Wire representation
     # ------------------------------------------------------------------
+    def invalidate_wire_cache(self) -> None:
+        """Drop cached wire bytes after a header field mutation.
+
+        Every path that rewrites headers in place (the event injector's
+        ECN mark, rewrite rules, the mirror block's metadata stamping)
+        must call this; construction and :meth:`copy` start clean.
+        ``icrc_ok`` flips need no invalidation — the corruption xor is
+        applied per call on top of the cached clean CRC.
+        """
+        self._packed_headers = None
+        self._icrc_clean = None
+
     def pack_headers(self) -> bytes:
         """Serialise all headers to wire bytes (no payload, no iCRC)."""
+        if self._packed_headers is not None:
+            return self._packed_headers
         data = self.eth.pack()
         if self.ip is not None:
             data += self.ip.pack()
@@ -141,6 +163,7 @@ class Packet:
             data += self.reth.pack()
         if self.aeth is not None:
             data += self.aeth.pack()
+        self._packed_headers = data
         return data
 
     def icrc(self) -> int:
@@ -149,14 +172,17 @@ class Packet:
         Returns a value that will not match the recomputed CRC when the
         packet has been corrupted in flight (``icrc_ok`` is False).
         """
-        transport = b""
-        if self.bth is not None:
-            transport += self.bth.pack()
-        if self.reth is not None:
-            transport += self.reth.pack()
-        if self.aeth is not None:
-            transport += self.aeth.pack()
-        value = icrc_for(transport, self.payload_len)
+        value = self._icrc_clean
+        if value is None:
+            transport = b""
+            if self.bth is not None:
+                transport += self.bth.pack()
+            if self.reth is not None:
+                transport += self.reth.pack()
+            if self.aeth is not None:
+                transport += self.aeth.pack()
+            value = icrc_for(transport, self.payload_len)
+            self._icrc_clean = value
         if not self.icrc_ok:
             value ^= 0xDEADBEEF  # any bit flip invalidates the CRC
         return value

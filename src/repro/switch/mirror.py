@@ -96,6 +96,7 @@ class MirrorBlock:
         clone.eth.dst_mac = now_ns & _MASK48
         if self.randomize_udp_port and clone.udp is not None:
             clone.udp.dst_port = self._rng.randint(1024, 65535)
+        clone.invalidate_wire_cache()
         self.mirror_seq += 1
         self.mirrored_packets += 1
         target = self._pick_target()

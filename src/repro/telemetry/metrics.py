@@ -142,6 +142,59 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    # ------------------------------------------------------------------
+    # Cross-process transport (repro.exec worker -> parent merge)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[Dict]:
+        """Every metric as a plain picklable dict, sorted by key.
+
+        The inverse of :meth:`merge`: a pool worker snapshots its
+        registry at task end and ships the snapshot to the parent.
+        """
+        out: List[Dict] = []
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            entry: Dict = {"name": metric.name, "labels": metric.labels,
+                           "kind": metric.kind}
+            if metric.kind == "counter":
+                entry["value"] = metric.value
+            elif metric.kind == "gauge":
+                entry["value"] = metric.value
+                entry["high_water"] = metric.high_water
+            else:
+                entry["buckets"] = metric.buckets
+                entry["counts"] = list(metric.counts)
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+            out.append(entry)
+        return out
+
+    def merge(self, snapshot: Iterable[Dict]) -> None:
+        """Fold a worker snapshot into this registry.
+
+        Counters and histograms accumulate; gauges adopt the snapshot
+        value (last writer wins, matching in-process execution order)
+        while high-water marks take the maximum.
+        """
+        for entry in snapshot:
+            labels = dict(entry["labels"])
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(entry["name"], **labels)
+                gauge.set(entry["value"])
+                if entry["high_water"] > gauge.high_water:
+                    gauge.high_water = entry["high_water"]
+            else:
+                hist = self.histogram(entry["name"],
+                                      buckets=entry["buckets"], **labels)
+                hist.sum += entry["sum"]
+                hist.count += entry["count"]
+                if hist.buckets == tuple(entry["buckets"]):
+                    for i, count in enumerate(entry["counts"]):
+                        hist.counts[i] += count
+
 
 # ----------------------------------------------------------------------
 # Disabled-mode no-op twins. Shared singletons: allocation-free and
@@ -201,6 +254,12 @@ class NullRegistry:
 
     def find(self, name: str, **labels):
         return None
+
+    def snapshot(self) -> List[Dict]:
+        return []
+
+    def merge(self, snapshot) -> None:
+        pass
 
     def __len__(self) -> int:
         return 0
