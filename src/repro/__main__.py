@@ -13,6 +13,8 @@ Commands:
 * ``nics``                — list the built-in NIC behaviour profiles.
 * ``example-config``      — print a ready-to-edit JSON config.
 * ``telemetry-report <dir>`` — summarize a ``--telemetry`` output dir.
+* ``lint``                — determinism & spawn-safety static analysis
+  over the testbed sources (see :mod:`repro.lint`).
 
 ``fuzz``, ``suite`` and ``sweep`` accept ``--workers N``: the campaign
 fans out over a spawn-safe process pool (``repro.exec``) and falls
@@ -32,6 +34,7 @@ import argparse
 import json
 import os
 import sys
+from typing import List, Optional
 
 from .core.config import TestConfig
 from .core.fuzz import LuminaFuzzer
@@ -66,7 +69,7 @@ _EXAMPLE_CONFIG = {
 }
 
 
-def _load_config(path: str, seed=None) -> TestConfig:
+def _load_config(path: str, seed: Optional[int] = None) -> TestConfig:
     with open(path) as handle:
         data = json.load(handle)
     if seed is not None:
@@ -125,8 +128,6 @@ def cmd_suite(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     import time
     from dataclasses import replace
-
-    from .core.config import HostConfig
 
     nics = [n.strip() for n in args.nics.split(",") if n.strip()]
     configs = []
@@ -347,10 +348,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarize a --telemetry output directory")
     telreport_p.add_argument("dir")
     telreport_p.set_defaults(func=cmd_telemetry_report)
+
+    sub.add_parser(
+        "lint",
+        help="determinism & spawn-safety static analysis "
+             "(all arguments forwarded; try: lint --help)")
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # ``lint`` owns its whole argument tail (argparse.REMAINDER cannot
+    # forward leading ``--flags``), so dispatch before parsing.
+    if argv and argv[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     telemetry_dir = getattr(args, "telemetry", None)
     if telemetry_dir is None:

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ...rdma.profiles import CnpLimitMode
-from ..trace import PacketTrace, TracePacket
+from ..trace import PacketTrace
 
 __all__ = ["CnpReport", "analyze_cnps", "min_cnp_interval_ns",
            "infer_rate_limit_scope"]

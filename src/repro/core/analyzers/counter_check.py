@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ...net.headers import Opcode
 from ...net.packet import EventType
 from ..results import HostCounters, TestResult
 from ..trace import PacketTrace

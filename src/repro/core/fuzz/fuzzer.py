@@ -25,7 +25,10 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # avoid a runtime core -> exec import cycle
+    from ...exec.runner import ParallelRunner
 
 from ...sim.rng import SimRandom
 from ...telemetry import runtime as telemetry
@@ -178,7 +181,7 @@ class LuminaFuzzer:
     # ------------------------------------------------------------------
     def run(self, iterations: int = 20, stop_on_first: bool = False,
             workers: int = 1, batch_size: int = 1,
-            runner=None) -> FuzzReport:
+            runner: Optional["ParallelRunner"] = None) -> FuzzReport:
         """Run the fuzzing loop for at most ``iterations`` rounds.
 
         ``batch_size`` fixes the generation schedule (how many

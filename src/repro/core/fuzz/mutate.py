@@ -10,7 +10,7 @@ traffic mutation so they always reference packets that exist.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, List, Sequence
+from typing import Callable, Sequence
 
 from ...sim.rng import SimRandom
 from ..config import DataPacketEvent, TrafficConfig

@@ -9,7 +9,7 @@ a single :class:`TestResult` the analyzers consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .config import TestConfig
 from .intent import QpMetadata

@@ -31,8 +31,11 @@ rnr-flow-control                Sends without recv WQEs RNR-NAK, then finish
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # avoid a runtime core -> exec import cycle
+    from ..exec.runner import ParallelRunner
 
 from .analyzers.cnp import analyze_cnps, min_cnp_interval_ns
 from .analyzers.counter_check import check_counters
@@ -356,7 +359,9 @@ CHECKS: Dict[str, Callable[[str, int], CheckResult]] = {
 
 def run_conformance_suite(nic: str, seed: int = 77,
                           checks: Optional[List[str]] = None,
-                          workers: int = 1, runner=None) -> Scorecard:
+                          workers: int = 1,
+                          runner: Optional["ParallelRunner"] = None,
+                          ) -> Scorecard:
     """Run the standard battery (or a subset) against one NIC model.
 
     Checks are independent (each builds its own testbed from the same

@@ -26,6 +26,10 @@ class DumperPool:
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.servers: List[DumperServer] = []
+        # Per-server disk-record gauges, bound at add_server time (the
+        # session is stable across a testbed's lifetime, and handles
+        # must not be constructed per loop iteration — TEL001).
+        self._disk_gauges: List = []
 
     def add_server(self, switch: TofinoSwitch, bandwidth_bps: int,
                    num_cores: int = 8, core_service_ns: int = 170,
@@ -48,6 +52,8 @@ class DumperPool:
                                              name=f"{switch.name}->{name}")
         connect(switch_port, server.port, propagation_delay_ns)
         self.servers.append(server)
+        self._disk_gauges.append(
+            telemetry.current().gauge("dumper_disk_records", server=name))
         return server
 
     def terminate_all(self) -> List[DumpRecord]:
@@ -55,11 +61,11 @@ class DumperPool:
         records: List[DumpRecord] = []
         counts: List[int] = []
         tel = telemetry.current()
-        for server in self.servers:
+        for server, gauge in zip(self.servers, self._disk_gauges):
             written = server.terminate()
             records.extend(written)
             counts.append(len(written))
-            tel.gauge("dumper_disk_records", server=server.name).set(len(written))
+            gauge.set(len(written))
         if counts and records:
             # Load-balance skew: max per-server share over the fair share.
             fair = len(records) / len(counts)

@@ -14,6 +14,8 @@ while keeping results byte-identical to serial execution:
   in a worker-local telemetry session.
 """
 
-from .runner import ParallelRunner, RunnerStats, TaskOutcome
+from .runner import (ParallelRunner, RunnerStats, TaskOutcome,
+                     UnpicklableTaskError)
 
-__all__ = ["ParallelRunner", "RunnerStats", "TaskOutcome"]
+__all__ = ["ParallelRunner", "RunnerStats", "TaskOutcome",
+           "UnpicklableTaskError"]

@@ -25,15 +25,56 @@ results for every value of ``workers``.
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
+import pickle
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..telemetry import runtime as telemetry
 from . import worker as worker_mod
 
-__all__ = ["TaskOutcome", "RunnerStats", "ParallelRunner"]
+__all__ = ["TaskOutcome", "RunnerStats", "ParallelRunner",
+           "UnpicklableTaskError"]
+
+
+class UnpicklableTaskError(TypeError):
+    """A task function or payload cannot cross the spawn boundary.
+
+    Raised *before* any submission, naming the offending field — a
+    non-picklable payload would otherwise surface much later as an
+    opaque worker crash followed by pointless retries.
+    """
+
+
+def _unpicklable_path(obj: Any, prefix: str) -> Optional[Tuple[str, str]]:
+    """(path, reason) for the deepest unpicklable element, or None.
+
+    Descends dicts, dataclasses and sequences so the error names the
+    actual field (``payload['config'].on_done``) rather than the
+    payload as a whole.
+    """
+    try:
+        pickle.dumps(obj)
+        return None
+    except Exception as exc:
+        failure = (prefix, f"{type(exc).__name__}: {exc}")
+    children: List[Tuple[str, Any]] = []
+    if isinstance(obj, dict):
+        children = [(f"{prefix}[{key!r}]", value)
+                    for key, value in obj.items()]
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        children = [(f"{prefix}.{f.name}", getattr(obj, f.name))
+                    for f in dataclasses.fields(obj)]
+    elif isinstance(obj, (list, tuple)):
+        children = [(f"{prefix}[{index}]", value)
+                    for index, value in enumerate(obj)]
+    for path, value in children:
+        deeper = _unpicklable_path(value, path)
+        if deeper is not None:
+            return deeper
+    return failure
 
 #: Consecutive pool breakages after which the runner stops rebuilding
 #: pools and finishes the campaign in-process.
@@ -78,6 +119,14 @@ class ParallelRunner:
                  max_retries: int = 2):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if workers > 1:
+            problem = _unpicklable_path(task_fn, "task_fn")
+            if problem is not None:
+                name = getattr(task_fn, "__qualname__", None) or repr(task_fn)
+                raise UnpicklableTaskError(
+                    f"task_fn {name} cannot be pickled by reference into "
+                    f"spawn workers ({problem[1]}); pass a module-level "
+                    f"function (see repro.exec.tasks)")
         self.task_fn = task_fn
         self.workers = workers
         self.task_timeout_s = task_timeout_s
@@ -165,7 +214,20 @@ class ParallelRunner:
         """Run every payload; outcomes come back in payload order.
 
         Never raises for task-level failures — inspect the outcomes.
+        The exception is a *programming* error: a payload that cannot
+        be pickled into the spawn workers raises
+        :class:`UnpicklableTaskError` (naming the offending field)
+        before anything is submitted.
         """
+        if self.workers > 1 and not self._pool_dead:
+            for index, payload in enumerate(payloads):
+                problem = _unpicklable_path(payload, f"payloads[{index}]")
+                if problem is not None:
+                    path, reason = problem
+                    raise UnpicklableTaskError(
+                        f"{path} cannot be pickled into spawn workers: "
+                        f"{reason}; campaign payloads must be plain "
+                        f"picklable data")
         n = len(payloads)
         outcomes: List[Optional[TaskOutcome]] = [None] * n
         session = telemetry.active()

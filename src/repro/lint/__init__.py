@@ -1,0 +1,41 @@
+"""``repro.lint`` — determinism & spawn-safety static analysis.
+
+Lumina's methodology rests on the testbed being *bit-reproducible*:
+identical configs must produce field-for-field identical reports for
+any worker count, and telemetry must stay byte-invisible when
+disabled. Those invariants are easy to break with one innocuous line —
+a ``time.time()`` in a model, an unordered ``set`` iteration feeding a
+report, a lambda handed to the spawn-based process pool — and runtime
+equality tests only catch the breakage after a campaign has already
+burned pool hours.
+
+This package checks the *code* instead. It is a small AST-based
+framework (stdlib :mod:`ast` only):
+
+* :mod:`repro.lint.findings` — the :class:`Finding` record and severities,
+* :mod:`repro.lint.context`  — per-module parse context: import-alias
+  resolution, inline suppressions, light type inference,
+* :mod:`repro.lint.rules`    — the rule registry and the shipped rules
+  (DET001–DET004, EXEC001, TEL001, API001),
+* :mod:`repro.lint.baseline` — fingerprinting + the committed baseline
+  that masks pre-existing findings,
+* :mod:`repro.lint.reporters` — text and JSON output,
+* :mod:`repro.lint.cli`      — the ``python -m repro.lint`` /
+  ``python -m repro lint`` entry point.
+
+Suppress a single finding inline with ``# repro-lint: ignore[CODE]``
+(or a bare ``ignore`` for every rule on that line); opt a whole file
+out with ``# repro-lint: skip-file``.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, fingerprint_findings
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .rules import RULES, all_rules, get_rule, run_rules
+
+__all__ = [
+    "Finding", "Severity", "ModuleContext", "Baseline",
+    "fingerprint_findings", "RULES", "all_rules", "get_rule", "run_rules",
+]

@@ -1,0 +1,106 @@
+"""Committed-baseline support: pre-existing findings don't fail CI.
+
+A baseline entry identifies a finding by a *content fingerprint* —
+``sha1(code ‖ path ‖ stripped-source-line ‖ occurrence-index)`` — not
+by line number, so unrelated edits above a baselined finding don't
+invalidate it. The occurrence index disambiguates identical lines in
+the same file (the Nth identical (code, line-text) pair keeps masking
+the Nth occurrence).
+
+Workflow:
+
+* ``python -m repro.lint`` — findings not in the baseline fail (exit 1),
+* ``python -m repro.lint --update-baseline`` — rewrite the baseline to
+  the current finding set (review the diff!),
+* CI commits the baseline file, so only *new* findings break a build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "fingerprint_findings", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "baseline.json"
+_FORMAT_VERSION = 1
+
+
+def _fingerprint(code: str, path: str, snippet: str, occurrence: int) -> str:
+    payload = f"{code}\x00{path}\x00{snippet}\x00{occurrence}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> List[Tuple[str, Finding]]:
+    """Stable (fingerprint, finding) pairs, occurrence-indexed."""
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[str, Finding]] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = (finding.code, finding.path, finding.snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append((_fingerprint(*key, occurrence), finding))
+    return out
+
+
+class Baseline:
+    """The committed set of masked fingerprints."""
+
+    def __init__(self, entries: Dict[str, Dict[str, object]]):
+        self.entries = entries
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls.empty()
+        with open(path) as handle:
+            data = json.load(handle)
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}")
+        return cls(dict(data.get("findings", {})))
+
+    def save(self, path: str) -> None:
+        data = {
+            "version": _FORMAT_VERSION,
+            "findings": {fp: self.entries[fp] for fp in sorted(self.entries)},
+        }
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: Dict[str, Dict[str, object]] = {}
+        for fingerprint, finding in fingerprint_findings(findings):
+            entries[fingerprint] = {
+                "code": finding.code,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "message": finding.message,
+            }
+        return cls(entries)
+
+    def split(self, findings: Iterable[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """(new, masked) — masked findings matched a baseline entry."""
+        new: List[Finding] = []
+        masked: List[Finding] = []
+        for fingerprint, finding in fingerprint_findings(findings):
+            (masked if fingerprint in self.entries else new).append(finding)
+        return new, masked

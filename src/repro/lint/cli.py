@@ -1,0 +1,193 @@
+"""The ``python -m repro.lint`` / ``python -m repro lint`` front end.
+
+Walks every ``*.py`` under the target root (default: the installed
+``repro`` package itself), builds a :class:`ModuleContext` per file,
+runs the registered rules, subtracts inline suppressions and the
+committed baseline, and renders text or JSON.
+
+Exit codes: ``0`` clean, ``1`` unbaselined findings, ``2`` usage or
+parse failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .context import ModuleContext
+from .findings import FileStats, Finding, Severity
+from .reporters import render_json, render_text
+from .rules import all_rules, run_rules
+
+__all__ = ["main", "lint_tree", "default_root", "default_baseline_path"]
+
+
+def default_root() -> str:
+    """The ``repro`` package directory this module is installed in."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def default_baseline_path() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        DEFAULT_BASELINE_NAME)
+
+
+def _iter_py_files(root: str) -> List[str]:
+    out: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames
+                             if d not in ("__pycache__",)
+                             and not d.startswith("."))
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def _module_package(relpath: str) -> str:
+    """Dotted package for a file path like ``repro/exec/runner.py``."""
+    parts = relpath.split("/")
+    parts[-1] = parts[-1][:-3]  # strip .py
+    if parts[-1] == "__init__":
+        parts.pop()
+    else:
+        parts.pop()  # package = containing directory
+    return ".".join(parts)
+
+
+def lint_tree(root: str, select: Optional[Set[str]] = None,
+              stats: Optional[FileStats] = None,
+              rel_prefix: Optional[str] = None
+              ) -> Tuple[List[Finding], FileStats]:
+    """Lint every python file under ``root``.
+
+    ``rel_prefix`` overrides how paths are reported/relativised: by
+    default paths are relative to ``root``'s parent, so linting
+    ``.../src/repro`` reports ``repro/sim/engine.py`` and the rules'
+    directory scoping works for scratch trees too.
+    """
+    stats = stats or FileStats()
+    base = rel_prefix if rel_prefix is not None else os.path.dirname(
+        os.path.abspath(root))
+    findings: List[Finding] = []
+    for path in _iter_py_files(root):
+        rel = os.path.relpath(path, base).replace(os.sep, "/")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            stats.files_skipped += 1
+            continue
+        try:
+            ctx = ModuleContext(rel, source,
+                                module_package=_module_package(rel))
+        except SyntaxError as exc:
+            stats.parse_errors += 1
+            findings.append(Finding(
+                code="PARSE", severity=Severity.ERROR,
+                path=rel, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}"))
+            continue
+        stats.files_checked += 1
+        if ctx.skip_file:
+            stats.files_skipped += 1
+            continue
+        findings.extend(run_rules(ctx, select=select, stats=stats))
+    return findings, stats
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Determinism & spawn-safety static analysis for the "
+                    "Lumina testbed sources.")
+    parser.add_argument("root", nargs="?", default=None,
+                        help="directory tree to lint "
+                             "(default: the repro package)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--select", metavar="CODES", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline file (default: the committed "
+                             "src/repro/lint/baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline; report everything")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--show-masked", action="store_true",
+                        help="also print baseline-masked findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = [f"{'code':<9s}{'severity':<10s}name / description",
+             "-" * 72]
+    for rule in all_rules():
+        lines.append(f"{rule.code:<9s}{rule.severity.value:<10s}"
+                     f"{rule.name}")
+        lines.append(f"{'':<19s}{rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = args.root or default_root()
+    if not os.path.isdir(root):
+        print(f"error: not a directory: {root}", file=sys.stderr)
+        return 2
+    select: Optional[Set[str]] = None
+    if args.select:
+        select = {c.strip().upper() for c in args.select.split(",")
+                  if c.strip()}
+        unknown = select - {r.code for r in all_rules()}
+        if unknown:
+            print(f"error: unknown rule codes: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    findings, stats = lint_tree(root, select=select)
+    if stats.parse_errors:
+        for finding in findings:
+            if finding.code == "PARSE":
+                print(f"{finding.location()}: {finding.message}",
+                      file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or default_baseline_path()
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"baseline written: {baseline_path} "
+              f"({len(findings)} findings masked)")
+        return 0
+
+    baseline = Baseline.empty() if args.no_baseline \
+        else Baseline.load(baseline_path)
+    new, masked = baseline.split(findings)
+    stats.baselined = len(masked)
+    for finding in new:
+        stats.count(finding)
+
+    reported = new + (masked if args.show_masked else [])
+    if args.format == "json":
+        print(render_json(reported, stats))
+    else:
+        print(render_text(reported, stats,
+                          show_masked=len(masked) if args.show_masked
+                          else 0))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

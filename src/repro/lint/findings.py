@@ -1,0 +1,69 @@
+"""The finding record shared by every rule and reporter."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; drives exit-code and report grouping.
+
+    * ``ERROR``   — breaks a determinism/spawn-safety invariant outright.
+    * ``WARNING`` — likely hazard; needs a fix or an explicit suppression.
+    * ``ADVICE``  — style-level: correct today but fragile under change.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    ADVICE = "advice"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "advice": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str          #: rule code, e.g. ``DET001``
+    severity: Severity
+    path: str          #: path relative to the scanned root, posix-style
+    line: int          #: 1-based line of the offending node
+    col: int           #: 0-based column of the offending node
+    message: str       #: human explanation, incl. what to do instead
+    snippet: str = ""  #: the stripped offending source line
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+
+@dataclass
+class FileStats:
+    """Per-run accounting, reported in the summary footer."""
+
+    files_checked: int = 0
+    files_skipped: int = 0
+    parse_errors: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    by_code: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, finding: Finding) -> None:
+        self.by_code[finding.code] = self.by_code.get(finding.code, 0) + 1

@@ -1,0 +1,55 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .findings import FileStats, Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: List[Finding], stats: FileStats,
+                show_masked: int = 0) -> str:
+    """GCC-style one-line-per-finding text, with a summary footer."""
+    lines: List[str] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        lines.append(f"{finding.location()}: {finding.code} "
+                     f"[{finding.severity.value}] {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    by_code = ", ".join(f"{code}×{count}"
+                        for code, count in sorted(stats.by_code.items()))
+    summary = (f"{len(findings)} finding"
+               f"{'' if len(findings) == 1 else 's'}"
+               + (f" ({by_code})" if by_code else ""))
+    tail = []
+    if stats.baselined:
+        tail.append(f"{stats.baselined} baselined")
+    if stats.suppressed:
+        tail.append(f"{stats.suppressed} suppressed")
+    if show_masked:
+        tail.append(f"{show_masked} masked")
+    tail.append(f"{stats.files_checked} files checked")
+    if stats.parse_errors:
+        tail.append(f"{stats.parse_errors} parse errors")
+    lines.append(f"repro-lint: {summary}; " + ", ".join(tail))
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], stats: FileStats) -> str:
+    payload: Dict[str, object] = {
+        "findings": [f.to_dict() for f in sorted(findings,
+                                                 key=Finding.sort_key)],
+        "summary": {
+            "total": len(findings),
+            "by_code": dict(sorted(stats.by_code.items())),
+            "files_checked": stats.files_checked,
+            "files_skipped": stats.files_skipped,
+            "parse_errors": stats.parse_errors,
+            "suppressed": stats.suppressed,
+            "baselined": stats.baselined,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -39,7 +39,6 @@ from ..net.addressing import ROCEV2_UDP_PORT
 from .dcqcn import DcqcnRp
 from .verbs import (
     CompletionQueue,
-    MemoryRegion,
     Verb,
     WcStatus,
     WorkCompletion,

@@ -10,7 +10,7 @@ resumed by the engine when the waitable completes.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from typing import Any, Generator, List
 
 from .engine import Simulator
 

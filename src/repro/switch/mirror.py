@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..net.link import Port
-from ..net.packet import EventType, Packet
+from ..net.packet import Packet
 from ..sim.rng import SimRandom
 from ..telemetry import runtime as telemetry
 

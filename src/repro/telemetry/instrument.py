@@ -66,13 +66,19 @@ class SimProbe:
         rate = self.session.gauge("sim_events_per_sec", sim=self.name)
         if wall_elapsed > 0:
             rate.set(int(total_events * 1_000_000_000 / wall_elapsed))
+        # Handle construction in this loop is intentional: the label set
+        # (one per callback qualname) is only known at flush time, and
+        # flush runs once per export, not on the hot path.
         for qualname, (count, total_ns, max_ns) in self._stats.items():
-            self.session.counter("sim_callback_count",
-                                 fn=qualname, sim=self.name).inc(count)
-            self.session.counter("sim_callback_wall_ns",
-                                 fn=qualname, sim=self.name).inc(total_ns)
-            self.session.gauge("sim_callback_max_wall_ns",
-                               fn=qualname, sim=self.name).set(max_ns)
+            self.session.counter(  # repro-lint: ignore[TEL001]
+                "sim_callback_count",
+                fn=qualname, sim=self.name).inc(count)
+            self.session.counter(  # repro-lint: ignore[TEL001]
+                "sim_callback_wall_ns",
+                fn=qualname, sim=self.name).inc(total_ns)
+            self.session.gauge(  # repro-lint: ignore[TEL001]
+                "sim_callback_max_wall_ns",
+                fn=qualname, sim=self.name).set(max_ns)
 
 
 def attach_simulator(sim, session: TelemetrySession,
