@@ -26,6 +26,13 @@ schedule is fixed by ``--batch``, not by ``--workers``.
 the run executes with telemetry enabled and writes a Chrome trace
 (``trace.json``), Prometheus metrics (``metrics.prom``) and span JSONL
 (``events.jsonl``) into DIR on completion.
+
+``run`` and ``suite`` accept ``--measurement-faults SCENARIO``: the
+measurement plane (mirror links, dumper rings) is stressed with a named
+deterministic fault scenario (see :mod:`repro.faults.scenarios`), and
+the §3.5 integrity check / retry machinery has to cope. Checks whose
+evidence window overlaps a capture gap report INCONCLUSIVE instead of
+a false verdict.
 """
 
 from __future__ import annotations
@@ -69,6 +76,12 @@ _EXAMPLE_CONFIG = {
 }
 
 
+def _fault_scenario_names() -> List[str]:
+    from .faults import SCENARIOS
+
+    return sorted(SCENARIOS)
+
+
 def _load_config(path: str, seed: Optional[int] = None) -> TestConfig:
     with open(path) as handle:
         data = json.load(handle)
@@ -79,6 +92,10 @@ def _load_config(path: str, seed: Optional[int] = None) -> TestConfig:
 
 def cmd_run(args: argparse.Namespace) -> int:
     config = _load_config(args.config, args.seed)
+    if args.measurement_faults:
+        from .faults import get_scenario
+
+        config = get_scenario(args.measurement_faults).apply(config)
     result = run_test(config)
     report = render_report(result)
     if args.output:
@@ -120,7 +137,8 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
     card = run_conformance_suite(args.nic, seed=args.seed,
                                  checks=args.checks or None,
-                                 workers=args.workers)
+                                 workers=args.workers,
+                                 faults=args.measurement_faults or None)
     print(card.render())
     return 0 if card.all_passed else 1
 
@@ -263,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--output", "-o", help="write the report to a file")
     run_p.add_argument("--telemetry", metavar="DIR", default=None,
                        help="collect runtime telemetry and export to DIR")
+    run_p.add_argument("--measurement-faults", metavar="SCENARIO",
+                       default=None, choices=_fault_scenario_names(),
+                       help="inject measurement-plane faults "
+                            "(capture stress test); one of: "
+                            + ", ".join(_fault_scenario_names()))
     run_p.set_defaults(func=cmd_run)
 
     fuzz_p = sub.add_parser("fuzz", help="fuzz around a base config")
@@ -298,6 +321,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool size for running checks")
     suite_p.add_argument("--telemetry", metavar="DIR", default=None,
                          help="collect runtime telemetry and export to DIR")
+    suite_p.add_argument("--measurement-faults", metavar="SCENARIO",
+                         default=None, choices=_fault_scenario_names(),
+                         help="run every check under injected capture "
+                              "faults; one of: "
+                              + ", ".join(_fault_scenario_names()))
     suite_p.set_defaults(func=cmd_suite)
 
     sweep_p = sub.add_parser(

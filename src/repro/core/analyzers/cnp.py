@@ -33,6 +33,10 @@ class CnpReport:
     spurious_cnps: int = 0
     #: CNP timestamps grouped by (NP ip, RP ip, dest QP).
     streams: Dict[Tuple[int, int, int], List[int]] = field(default_factory=dict)
+    #: False when the trace has capture gaps: a lost mirror clone could
+    #: have been the ECN mark that "spurious" CNPs answered, or a CNP
+    #: whose absence shrinks the measured interval floor.
+    conclusive: bool = True
 
     def intervals_ns(self, key: Optional[Tuple[int, int, int]] = None) -> List[int]:
         """Gaps between consecutive CNPs of one stream (or all merged)."""
@@ -45,7 +49,7 @@ class CnpReport:
 
 def analyze_cnps(trace: PacketTrace) -> CnpReport:
     """Extract CNP streams and validate them against the marks seen."""
-    report = CnpReport()
+    report = CnpReport(conclusive=not trace.has_gaps)
     marked_times: Dict[Tuple[int, int], List[int]] = {}
     for pkt in trace:
         if pkt.is_data and pkt.was_ecn_marked:

@@ -48,6 +48,9 @@ class CounterMismatch:
 class CounterReport:
     mismatches: List[CounterMismatch] = field(default_factory=list)
     checked: int = 0
+    #: False when the trace has capture gaps: expectations derived from
+    #: an incomplete trace would indict healthy counters.
+    conclusive: bool = True
 
     @property
     def consistent(self) -> bool:
@@ -118,7 +121,14 @@ _EXACT = ("cnp_sent", "cnp_handled", "ecn_marked_packets", "nak_sent",
 
 
 def check_counters(result: TestResult) -> CounterReport:
-    """Diff reported NIC counters against trace-derived expectations."""
+    """Diff reported NIC counters against trace-derived expectations.
+
+    A gapped trace cannot ground-truth any counter — every expectation
+    is an undercount — so the report carries no mismatches and is
+    flagged inconclusive instead.
+    """
+    if result.trace.has_gaps:
+        return CounterReport(conclusive=False)
     report = CounterReport()
     hosts: List[Tuple[HostCounters, set]] = [
         (result.requester_counters,

@@ -64,10 +64,20 @@ class FsmReport:
     connections_checked: int = 0
     packets_checked: int = 0
     violations: List[FsmViolation] = field(default_factory=list)
+    #: Connections skipped because a capture gap overlaps their window;
+    #: an FSM replayed over a gapped stream would emit phantom
+    #: violations (a lost NAK looks like a missing NAK).
+    inconclusive_connections: List[Tuple[int, int, int]] = \
+        field(default_factory=list)
 
     @property
     def compliant(self) -> bool:
         return not self.violations
+
+    @property
+    def conclusive(self) -> bool:
+        """True when every connection's coverage allowed a verdict."""
+        return not self.inconclusive_connections
 
 
 def _in_psn_window(psn: int, low: int, high: int) -> bool:
@@ -126,6 +136,11 @@ def check_gbn_compliance(trace: PacketTrace, mtu: int = 1024) -> FsmReport:
     for conn_key in trace.connections():
         data = [p for p in trace.for_connection(conn_key) if p.is_data]
         if not data:
+            continue
+        if not trace.conn_coverage_ok(conn_key):
+            # A gap inside this connection's lifetime could hide the
+            # very NAK/retransmission the FSM is about to demand.
+            report.inconclusive_connections.append(conn_key)
             continue
         report.connections_checked += 1
         read_stream = any(p.opcode.is_read_response for p in data)

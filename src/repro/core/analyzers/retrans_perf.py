@@ -43,6 +43,10 @@ class RetransmissionEvent:
     #: True when recovery was driven by a NACK / re-issued Read request;
     #: False means a retransmission timeout recovered the loss.
     fast_retransmission: bool = False
+    #: False when a capture gap overlaps the recovery window — the NAK
+    #: or retransmission may have crossed the switch unseen, so the
+    #: timings (and fast_retransmission) cannot be trusted.
+    conclusive: bool = True
 
     @property
     def nack_generation_ns(self) -> Optional[int]:
@@ -129,5 +133,15 @@ def analyze_retransmissions(trace: PacketTrace) -> List[RetransmissionEvent]:
                 if pkt.psn == drop.psn and pkt.iteration > drop.iteration:
                     event.retrans_time_ns = pkt.timestamp_ns
                     break
+            if trace.has_gaps:
+                # The recovery window runs from the drop to the observed
+                # retransmission, or to the end of the trace when the
+                # loss appears unrecovered (a gap may hide the proof).
+                window_end = event.retrans_time_ns
+                if window_end is None:
+                    last = trace.packets[-1] if trace.packets else None
+                    window_end = last.timestamp_ns if last else drop.timestamp_ns
+                event.conclusive = not trace.gaps_overlap_window(
+                    drop.timestamp_ns, window_end)
             events.append(event)
     return events

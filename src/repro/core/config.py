@@ -34,6 +34,8 @@ __all__ = [
     "TrafficConfig",
     "DumperPoolConfig",
     "SwitchConfig",
+    "MeasurementFaultConfig",
+    "RetryPolicy",
     "TestConfig",
     "ConfigError",
 ]
@@ -310,6 +312,115 @@ class DumperPoolConfig:
 
 
 @dataclass(frozen=True)
+class MeasurementFaultConfig:
+    """Faults injected on the *measurement* path (mirror → dumper).
+
+    Lumina treats capture loss as a first-class failure mode (§3.4/§3.5):
+    the mirror-sequence scheme exists precisely because mirrored packets
+    can be lost between switch and dumpers. This block stresses that
+    path deterministically, the same way periodic intents stress the
+    data path — losses are either periodic (every ``period``-th mirror
+    clone) or Bernoulli with a seeded RNG stream, never wall-clock
+    random.
+    """
+
+    #: Drop every ``period``-th mirrored clone (0 disables periodic loss).
+    mirror_loss_period: int = 0
+    #: Bernoulli loss probability per clone, from a seeded stream.
+    mirror_loss_rate: float = 0.0
+    #: Consecutive clones lost per loss trigger (burst length).
+    mirror_loss_burst: int = 1
+    #: Hold every ``mirror_delay_period``-th clone for this long, ns.
+    mirror_delay_ns: int = 0
+    mirror_delay_period: int = 0
+    #: Override the dumper ring size to create ring-pressure scenarios.
+    ring_slots: Optional[int] = None
+    #: Stop injecting faults after this attempt number (1-based); lets
+    #: tests model transient capture trouble that a retry recovers from.
+    heal_after_attempt: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mirror_loss_period < 0:
+            raise ConfigError("mirror loss period cannot be negative")
+        if not 0.0 <= self.mirror_loss_rate <= 1.0:
+            raise ConfigError("mirror loss rate must be within [0, 1]")
+        if self.mirror_loss_burst < 1:
+            raise ConfigError("mirror loss burst must be >= 1")
+        if self.mirror_delay_ns < 0:
+            raise ConfigError("mirror delay cannot be negative")
+        if self.mirror_delay_period < 0:
+            raise ConfigError("mirror delay period cannot be negative")
+        if self.mirror_delay_period and self.mirror_delay_ns <= 0:
+            raise ConfigError("periodic mirror delay needs a positive delay-ns")
+        if self.ring_slots is not None and self.ring_slots < 1:
+            raise ConfigError("ring-slots override must be >= 1")
+        if self.heal_after_attempt is not None and self.heal_after_attempt < 1:
+            raise ConfigError("heal-after-attempt is 1-based")
+
+    @property
+    def injects_faults(self) -> bool:
+        """True when any fault knob is actually armed."""
+        return bool(self.mirror_loss_period or self.mirror_loss_rate
+                    or self.mirror_delay_period
+                    or self.ring_slots is not None)
+
+    def active_on(self, attempt: int) -> bool:
+        """Whether faults fire on the given 1-based attempt."""
+        if not self.injects_faults:
+            return False
+        if self.heal_after_attempt is None:
+            return True
+        return attempt <= self.heal_after_attempt
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MeasurementFaultConfig":
+        return cls(
+            mirror_loss_period=int(data.get("mirror-loss-period", 0)),
+            mirror_loss_rate=float(data.get("mirror-loss-rate", 0.0)),
+            mirror_loss_burst=int(data.get("mirror-loss-burst", 1)),
+            mirror_delay_ns=int(data.get("mirror-delay-ns", 0)),
+            mirror_delay_period=int(data.get("mirror-delay-period", 0)),
+            ring_slots=data.get("ring-slots"),
+            heal_after_attempt=data.get("heal-after-attempt"),
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff on integrity failure (§3.5).
+
+    The paper's rule: a run whose capture failed the mirror-sequence
+    check is *unreliable* and must be redone. ``max_attempts=1`` keeps
+    the legacy single-shot behaviour; the backoff is simulated time
+    between attempts, recorded on each :class:`AttemptRecord`.
+    """
+
+    max_attempts: int = 1
+    backoff_ns: int = 1_000_000
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("retry policy needs at least one attempt")
+        if self.backoff_ns < 0:
+            raise ConfigError("backoff cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff multiplier must be >= 1")
+
+    def backoff_for(self, attempt: int) -> int:
+        """Backoff to wait *after* the given failed 1-based attempt."""
+        return int(self.backoff_ns * self.backoff_multiplier ** (attempt - 1))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RetryPolicy":
+        return cls(
+            max_attempts=int(data.get("max-attempts", 1)),
+            backoff_ns=int(data.get("backoff-ns", 1_000_000)),
+            backoff_multiplier=float(data.get("backoff-multiplier", 2.0)),
+        )
+
+
+@dataclass(frozen=True)
 class SwitchConfig:
     """Event injector feature flags (Fig. 7's Lumina variants)."""
 
@@ -337,11 +448,23 @@ class TestConfig:
     seed: int = 1
     #: Hard cap on simulated time, ns (guards against wedged QPs).
     max_duration_ns: int = 20_000_000_000
+    #: Measurement-path fault injection; None = pristine capture plane.
+    measurement_faults: Optional[MeasurementFaultConfig] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Upper bound on the post-traffic adaptive drain, ns.
+    drain_deadline_ns: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.drain_deadline_ns < 0:
+            raise ConfigError("drain deadline cannot be negative")
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TestConfig":
         dumpers = data.get("dumpers", {})
         switch = data.get("switch", {})
+        faults = None
+        if "measurement-faults" in data:
+            faults = MeasurementFaultConfig.from_dict(data["measurement-faults"])
         return cls(
             requester=HostConfig.from_dict(data["requester"]),
             responder=HostConfig.from_dict(data["responder"]),
@@ -362,4 +485,7 @@ class TestConfig:
             ),
             seed=int(data.get("seed", 1)),
             max_duration_ns=int(data.get("max-duration-ns", 20_000_000_000)),
+            measurement_faults=faults,
+            retry=RetryPolicy.from_dict(data.get("retry", {})),
+            drain_deadline_ns=int(data.get("drain-deadline-ns", 50_000_000)),
         )

@@ -10,6 +10,14 @@ Sequence, matching §3:
    cap to survive wedged QPs).
 4. TERM the dumpers, collect all results (Table 1), reconstruct the
    packet trace and run the integrity check.
+
+Integrity-driven recovery (§3.5): the drain before TERM is adaptive —
+it runs until the mirror queues, dumper rings and any delayed-clone
+backlog are empty (bounded by ``drain_deadline_ns``) instead of a fixed
+2 ms. If the integrity check still fails, the run is re-executed under
+the config's :class:`~repro.core.config.RetryPolicy` with an
+attempt-derived RNG stream, and every attempt is recorded on the
+returned :class:`~repro.core.results.TestResult`.
 """
 
 from __future__ import annotations
@@ -21,12 +29,18 @@ from ..telemetry import runtime as telemetry
 from ..telemetry.instrument import attach_testbed
 from .config import TestConfig
 from .intent import expand_periodic_events, translate_events
-from .results import HostCounters, TestResult
+from .results import AttemptRecord, HostCounters, TestResult
 from .testbed import Host, Testbed, build_testbed
 from .trace import check_integrity, reconstruct_trace
 from .trafficgen import TrafficSession
 
 __all__ = ["Orchestrator", "run_test", "run_tests"]
+
+#: The legacy fixed drain; the adaptive drain's first (and usually only)
+#: slice, so quiescent runs stay bit-for-bit identical to before.
+_BASE_DRAIN_NS = 2_000_000
+#: Granularity of subsequent drain slices while queues are non-empty.
+_DRAIN_SLICE_NS = 500_000
 
 
 class Orchestrator:
@@ -53,7 +67,54 @@ class Orchestrator:
             self.testbed.switch_controller.install_rewrite(rule)
 
     def run(self) -> TestResult:
-        """Execute the test and return the collected results."""
+        """Execute the test, retrying on integrity failure (§3.5).
+
+        Attempts are bounded by ``config.retry``; each failed attempt
+        waits the policy's (simulated-time) backoff before the next one
+        starts. The returned result is the *last* attempt's, with every
+        attempt — successful or not — recorded on ``result.attempts``.
+        """
+        session = telemetry.current()
+        m_retries = session.counter("run_retries")
+        m_integrity_failures = session.counter("run_integrity_failures")
+        policy = self.config.retry
+        attempts: List[AttemptRecord] = []
+        backoff = 0
+        result: TestResult
+        while True:
+            attempt = len(attempts) + 1
+            if attempt > 1:
+                m_retries.inc()
+                self.testbed = build_testbed(self.config, attempt=attempt)
+                self.session = TrafficSession(self.testbed,
+                                              self.config.traffic)
+                if backoff:
+                    # Idle the fresh simulation through the backoff so the
+                    # retried trace's timestamps reflect the wait.
+                    self.testbed.sim.run_for(backoff)
+            result = self._run_attempt()
+            record = AttemptRecord(
+                attempt=attempt,
+                integrity=result.integrity,
+                trace_packets=len(result.trace),
+                dumper_discards=result.dumper_discards,
+                duration_ns=result.duration_ns,
+            )
+            attempts.append(record)
+            if result.integrity.ok:
+                break
+            m_integrity_failures.inc()
+            if attempt >= policy.max_attempts:
+                break
+            backoff = policy.backoff_for(attempt)
+            record.backoff_ns = backoff
+        result.attempts = attempts
+        if telemetry.active() is not None:
+            session.gauge("run_attempts").set(len(attempts))
+        return result
+
+    def _run_attempt(self) -> TestResult:
+        """One build-run-collect cycle on the current testbed."""
         tel = telemetry.active()
         session = telemetry.current()
         if tel is not None:
@@ -63,16 +124,19 @@ class Orchestrator:
         sim = self.testbed.sim
         process = self.session.start()
         with session.span("run.traffic", pid="orchestrator"):
-            sim.run(until=self.config.max_duration_ns)
+            sim.run(until=sim.now + self.config.max_duration_ns)
         # Drain: let in-flight control packets, mirrors and dumper rings
         # settle before TERM. The queue is usually empty already unless
         # the duration cap fired mid-transfer.
         with session.span("run.drain", pid="orchestrator"):
-            sim.run_for(2_000_000)
+            self._drain(sim)
         with session.span("run.collect", pid="orchestrator"):
             records = self.testbed.dumpers.terminate_all()
-            trace = reconstruct_trace(records)
             switch_counters = self.testbed.switch_controller.dump_counters()
+            trace = reconstruct_trace(
+                records,
+                expected_packets=int(switch_counters.get("mirrored_packets", 0)),
+            )
             integrity = check_integrity(trace, switch_counters)
         if not self.session.log.finished_at:
             # Duration cap hit: close the log so metrics stay meaningful.
@@ -105,7 +169,32 @@ class Orchestrator:
             switch_counters=switch_counters,
             duration_ns=duration,
             dumper_discards=self.testbed.dumpers.total_discards,
+            dumper_core_stats=self.testbed.dumpers.per_core_stats,
         )
+
+    def _drain(self, sim) -> None:
+        """Adaptive drain: run until the measurement plane is empty.
+
+        The first slice equals the legacy fixed 2 ms drain, so a run
+        that is already quiescent behaves exactly as before. Only when
+        mirror queues, dumper rings or delayed clones are still pending
+        does the drain keep going, in sub-ms slices, up to the config's
+        drain deadline.
+        """
+        deadline = sim.now + max(self.config.drain_deadline_ns, _BASE_DRAIN_NS)
+        sim.run_for(min(_BASE_DRAIN_NS, deadline - sim.now))
+        while not self._measurement_quiescent() and sim.now < deadline:
+            sim.run_for(min(_DRAIN_SLICE_NS, deadline - sim.now))
+
+    def _measurement_quiescent(self) -> bool:
+        """No bytes left anywhere on the mirror → dumper path."""
+        testbed = self.testbed
+        if any(t.port.queued_bytes for t in testbed.switch.mirror.targets):
+            return False
+        if testbed.dumpers.total_backlog:
+            return False
+        injector = testbed.fault_injector
+        return injector is None or injector.quiescent
 
     @staticmethod
     def _host_counters(host: Host, nic_type: str) -> HostCounters:

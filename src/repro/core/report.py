@@ -53,6 +53,27 @@ def render_report(result: TestResult) -> str:
     if result.dumper_discards:
         lines.append(f"WARNING: {result.dumper_discards} packets discarded "
                      f"by the dumper pool — capture incomplete")
+    if result.trace.has_gaps:
+        lines.append(f"trace coverage: {result.trace.coverage:.1%} "
+                     f"({len(result.trace.gaps)} gap(s))")
+        for gap in result.trace.gaps[:10]:
+            lines.append(f"  {gap}")
+        if len(result.trace.gaps) > 10:
+            lines.append(f"  ... ({len(result.trace.gaps) - 10} more)")
+    if len(result.attempts) > 1:
+        lines.append(f"attempts: {len(result.attempts)} "
+                     f"(integrity-driven retry, §3.5)")
+        for record in result.attempts:
+            status = "PASS" if record.ok else "FAIL"
+            extra = (f", backoff {record.backoff_ns / 1e6:.1f} ms"
+                     if record.backoff_ns else "")
+            lines.append(f"  attempt {record.attempt}: integrity {status}, "
+                         f"trace={record.trace_packets} "
+                         f"discards={record.dumper_discards}{extra}")
+    faults = result.config.measurement_faults
+    if faults is not None and faults.injects_faults:
+        lines.append("NOTE: measurement-plane faults were injected "
+                     "(capture stress test)")
 
     lines += _section("Application metrics")
     stats = mct_stats(result.traffic_log.all_messages)
@@ -80,6 +101,8 @@ def render_report(result: TestResult) -> str:
             detail += f", react {event.nack_reaction_ns / 1e3:.1f} us"
         if not event.recovered:
             detail += " — NOT RECOVERED"
+        if not event.conclusive:
+            detail += " [INCONCLUSIVE: capture gap in recovery window]"
         lines.append(detail)
 
     fsm = check_gbn_compliance(result.trace, mtu=traffic.mtu)
@@ -90,16 +113,27 @@ def render_report(result: TestResult) -> str:
     else:
         lines.append(f"{len(fsm.violations)} VIOLATION(S):")
         lines.extend(f"  {violation}" for violation in fsm.violations[:10])
+    if not fsm.conclusive:
+        lines.append(f"INCONCLUSIVE: {len(fsm.inconclusive_connections)} "
+                     f"connection(s) skipped — capture gaps overlap their "
+                     f"window")
 
     cnps = analyze_cnps(result.trace)
     if cnps.total_cnps or cnps.total_ecn_marked:
         lines += _section("Congestion notification (§4)")
         lines.append(f"ECN-marked data packets: {cnps.total_ecn_marked}, "
                      f"CNPs: {cnps.total_cnps}, spurious: {cnps.spurious_cnps}")
+        if not cnps.conclusive:
+            lines.append("INCONCLUSIVE: capture gaps — counts are lower "
+                         "bounds, spurious CNPs may have visible causes "
+                         "lost from the trace")
 
     counter_report = check_counters(result)
     lines += _section("Counter check (§4)")
-    if counter_report.consistent:
+    if not counter_report.conclusive:
+        lines.append("INCONCLUSIVE: capture gaps make trace-derived "
+                     "expectations unreliable; no counters checked")
+    elif counter_report.consistent:
         lines.append(f"all {counter_report.checked} checked counters "
                      f"consistent with the trace")
     else:

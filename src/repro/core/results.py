@@ -16,7 +16,30 @@ from .intent import QpMetadata
 from .trace import IntegrityReport, PacketTrace
 from .trafficgen import TrafficGenLog
 
-__all__ = ["HostCounters", "TestResult"]
+__all__ = ["HostCounters", "AttemptRecord", "TestResult"]
+
+
+@dataclass
+class AttemptRecord:
+    """One orchestrator attempt at producing a trustworthy capture.
+
+    §3.5's rule is that an integrity failure invalidates the *run*, not
+    the test: the orchestrator retries (bounded, with backoff) and every
+    attempt — including the final one — is recorded here so a retried
+    result is never mistaken for a first-try success.
+    """
+
+    attempt: int                 # 1-based
+    integrity: IntegrityReport
+    trace_packets: int
+    dumper_discards: int
+    duration_ns: int
+    #: Simulated-time backoff waited *after* this attempt (0 on the last).
+    backoff_ns: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.integrity.ok
 
 
 @dataclass
@@ -52,11 +75,24 @@ class TestResult:
     switch_counters: Dict[str, object]
     duration_ns: int
     dumper_discards: int = 0
+    #: Every orchestrator attempt, in order; empty list only for results
+    #: constructed outside the orchestrator (tests, hand-built fixtures).
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    #: Per-server, per-core dumper stats from the final attempt.
+    dumper_core_stats: Dict[str, List[dict]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         """A valid test: complete trace and no aborted connections."""
         return self.integrity.ok and self.traffic_log.aborted_qps == 0
+
+    @property
+    def attempts_used(self) -> int:
+        return len(self.attempts) if self.attempts else 1
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts_used > 1
 
     def counters_for(self, host: str) -> HostCounters:
         if host == "requester":

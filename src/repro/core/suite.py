@@ -32,10 +32,12 @@ rnr-flow-control                Sends without recv WQEs RNR-NAK, then finish
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # avoid a runtime core -> exec import cycle
     from ..exec.runner import ParallelRunner
+    from ..faults.scenarios import FaultScenario
 
 from .analyzers.cnp import analyze_cnps, min_cnp_interval_ns
 from .analyzers.counter_check import check_counters
@@ -56,7 +58,22 @@ from .config import (
 from .orchestrator import run_test
 from .results import TestResult
 
-__all__ = ["CheckResult", "Scorecard", "run_conformance_suite", "CHECKS"]
+__all__ = ["Outcome", "CheckResult", "Scorecard", "COVERAGE",
+           "run_conformance_suite", "CHECKS"]
+
+
+class Outcome(str, Enum):
+    """Trichotomous check verdict (§3.5 applied to the suite).
+
+    INCONCLUSIVE means the capture, not the NIC, failed: a trace gap
+    overlaps the packets the check inspects, so neither PASS nor FAIL
+    would be honest. It is rendered distinctly and never counts as a
+    pass.
+    """
+
+    PASS = "PASS"
+    FAIL = "FAIL"
+    INCONCLUSIVE = "INCONCLUSIVE"
 
 
 @dataclass
@@ -64,9 +81,23 @@ class CheckResult:
     name: str
     passed: bool
     detail: str
+    outcome: Optional[Outcome] = None
+
+    def __post_init__(self) -> None:
+        if self.outcome is None:
+            self.outcome = Outcome.PASS if self.passed else Outcome.FAIL
+
+    @classmethod
+    def inconclusive(cls, name: str, detail: str) -> "CheckResult":
+        return cls(name, False, detail, outcome=Outcome.INCONCLUSIVE)
+
+    @property
+    def is_inconclusive(self) -> bool:
+        return self.outcome is Outcome.INCONCLUSIVE
 
     def __str__(self) -> str:
-        status = "PASS" if self.passed else "FAIL"
+        status = self.outcome.value if self.outcome else (
+            "PASS" if self.passed else "FAIL")
         return f"[{status}] {self.name:<28s} {self.detail}"
 
 
@@ -77,7 +108,11 @@ class Scorecard:
 
     @property
     def passed(self) -> int:
-        return sum(1 for r in self.results if r.passed)
+        return sum(1 for r in self.results if r.outcome is Outcome.PASS)
+
+    @property
+    def inconclusive(self) -> int:
+        return sum(1 for r in self.results if r.is_inconclusive)
 
     @property
     def total(self) -> int:
@@ -88,21 +123,29 @@ class Scorecard:
         return self.passed == self.total
 
     def failures(self) -> List[CheckResult]:
-        return [r for r in self.results if not r.passed]
+        """Checks that genuinely failed (INCONCLUSIVE is not failure)."""
+        return [r for r in self.results if r.outcome is Outcome.FAIL]
+
+    def inconclusives(self) -> List[CheckResult]:
+        return [r for r in self.results if r.is_inconclusive]
 
     def render(self) -> str:
-        lines = [f"Conformance scorecard: {self.nic} "
-                 f"({self.passed}/{self.total} checks passed)",
-                 "=" * 60]
+        header = (f"Conformance scorecard: {self.nic} "
+                  f"({self.passed}/{self.total} checks passed")
+        if self.inconclusive:
+            header += f", {self.inconclusive} inconclusive"
+        header += ")"
+        lines = [header, "=" * 60]
         lines.extend(str(r) for r in self.results)
         return "\n".join(lines)
 
 
 def _config(nic: str, traffic: TrafficConfig, seed: int,
             roce: Optional[RoceParameters] = None,
-            max_duration_ns: int = 60_000_000_000) -> TestConfig:
+            max_duration_ns: int = 60_000_000_000,
+            faults: Optional["FaultScenario"] = None) -> TestConfig:
     roce = roce or RoceParameters()
-    return TestConfig(
+    config = TestConfig(
         requester=HostConfig(nic_type=nic, ip_list=("10.0.0.1/24",), roce=roce),
         responder=HostConfig(nic_type=nic, ip_list=("10.0.0.2/24",), roce=roce),
         traffic=traffic,
@@ -110,42 +153,71 @@ def _config(nic: str, traffic: TrafficConfig, seed: int,
         seed=seed,
         max_duration_ns=max_duration_ns,
     )
+    if faults is not None:
+        config = faults.apply(config)
+    return config
 
 
-def _drop_run(nic: str, verb: str, seed: int) -> TestResult:
+def _drop_run(nic: str, verb: str, seed: int,
+              faults: Optional["FaultScenario"] = None) -> TestResult:
     traffic = TrafficConfig(
         num_connections=1, rdma_verb=verb, num_msgs_per_qp=2,
         message_size=102400, mtu=1024, min_retransmit_timeout=17,
         data_pkt_events=(DataPacketEvent(qpn=1, psn=50, type="drop"),),
     )
-    return run_test(_config(nic, traffic, seed))
+    return run_test(_config(nic, traffic, seed, faults=faults))
 
 
 # ---------------------------------------------------------------------------
 # Individual checks
 # ---------------------------------------------------------------------------
 
-def check_gbn_logic(nic: str, seed: int) -> CheckResult:
-    result = _drop_run(nic, "write", seed)
+def check_gbn_logic(nic: str, seed: int,
+                    faults: Optional["FaultScenario"] = None) -> CheckResult:
+    result = _drop_run(nic, "write", seed, faults)
     report = check_gbn_compliance(result.trace)
+    if not report.conclusive:
+        return CheckResult.inconclusive(
+            "gbn-logic",
+            f"capture gaps overlap {len(report.inconclusive_connections)} "
+            f"connection(s); coverage {result.trace.coverage:.1%}")
     return CheckResult(
         "gbn-logic", report.compliant,
         f"{report.packets_checked} packets checked, "
         f"{len(report.violations)} violation(s)")
 
 
-def check_fast_retransmission(nic: str, seed: int) -> CheckResult:
-    result = _drop_run(nic, "write", seed)
+def check_fast_retransmission(nic: str, seed: int,
+                              faults: Optional["FaultScenario"] = None,
+                              ) -> CheckResult:
+    result = _drop_run(nic, "write", seed, faults)
     events = analyze_retransmissions(result.trace)
+    if (not events and result.trace.has_gaps) or \
+            (events and not events[0].conclusive):
+        return CheckResult.inconclusive(
+            "fast-retransmission",
+            f"capture gaps overlap the recovery window; "
+            f"coverage {result.trace.coverage:.1%}")
     ok = bool(events) and events[0].fast_retransmission and events[0].recovered
     return CheckResult("fast-retransmission", ok,
                        "recovered via NACK" if ok else "timeout or unrecovered")
 
 
 def check_recovery_latency(nic: str, seed: int,
+                           faults: Optional["FaultScenario"] = None,
                            budget_ns: int = 100_000) -> CheckResult:
-    result = _drop_run(nic, "write", seed)
-    event = analyze_retransmissions(result.trace)[0]
+    result = _drop_run(nic, "write", seed, faults)
+    events = analyze_retransmissions(result.trace)
+    if (not events and result.trace.has_gaps) or \
+            (events and not events[0].conclusive):
+        return CheckResult.inconclusive(
+            "recovery-latency",
+            f"capture gaps overlap the recovery window; "
+            f"coverage {result.trace.coverage:.1%}")
+    if not events:
+        return CheckResult("recovery-latency", False,
+                           "no drop event observed in the trace")
+    event = events[0]
     total = event.total_recovery_ns or 0
     return CheckResult(
         "recovery-latency", bool(total) and total <= budget_ns,
@@ -153,9 +225,20 @@ def check_recovery_latency(nic: str, seed: int,
 
 
 def check_read_loss_recovery(nic: str, seed: int,
+                             faults: Optional["FaultScenario"] = None,
                              budget_ns: int = 1_000_000) -> CheckResult:
-    result = _drop_run(nic, "read", seed)
-    event = analyze_retransmissions(result.trace)[0]
+    result = _drop_run(nic, "read", seed, faults)
+    events = analyze_retransmissions(result.trace)
+    if (not events and result.trace.has_gaps) or \
+            (events and not events[0].conclusive):
+        return CheckResult.inconclusive(
+            "read-loss-recovery",
+            f"capture gaps overlap the recovery window; "
+            f"coverage {result.trace.coverage:.1%}")
+    if not events:
+        return CheckResult("read-loss-recovery", False,
+                           "no drop event observed in the trace")
+    event = events[0]
     total = event.total_recovery_ns or 0
     ok = event.recovered and total <= budget_ns
     return CheckResult(
@@ -163,13 +246,15 @@ def check_read_loss_recovery(nic: str, seed: int,
         f"total {total / 1e3:.1f} us (budget {budget_ns / 1e3:.0f} us)")
 
 
-def check_tail_drop_timeout(nic: str, seed: int) -> CheckResult:
+def check_tail_drop_timeout(nic: str, seed: int,
+                            faults: Optional["FaultScenario"] = None,
+                            ) -> CheckResult:
     traffic = TrafficConfig(
         num_connections=1, rdma_verb="write", num_msgs_per_qp=1,
         message_size=4096, mtu=1024, min_retransmit_timeout=10,
         data_pkt_events=(DataPacketEvent(qpn=1, psn=4, type="drop"),),
     )
-    result = run_test(_config(nic, traffic, seed))
+    result = run_test(_config(nic, traffic, seed, faults=faults))
     timeouts = result.requester_counters["local_ack_timeout_err"]
     done = all(m.ok for m in result.traffic_log.all_messages)
     return CheckResult("tail-drop-timeout", done and timeouts >= 1,
@@ -177,13 +262,15 @@ def check_tail_drop_timeout(nic: str, seed: int) -> CheckResult:
                        f"{'completed' if done else 'stuck'}")
 
 
-def check_corruption_detection(nic: str, seed: int) -> CheckResult:
+def check_corruption_detection(nic: str, seed: int,
+                               faults: Optional["FaultScenario"] = None,
+                               ) -> CheckResult:
     traffic = TrafficConfig(
         num_connections=1, rdma_verb="write", num_msgs_per_qp=2,
         message_size=10240, mtu=1024,
         data_pkt_events=(DataPacketEvent(qpn=1, psn=3, type="corrupt"),),
     )
-    result = run_test(_config(nic, traffic, seed))
+    result = run_test(_config(nic, traffic, seed, faults=faults))
     detected = result.responder_counters["rx_icrc_errors"] == 1
     done = all(m.ok for m in result.traffic_log.all_messages)
     return CheckResult("corruption-detection", detected and done,
@@ -191,27 +278,41 @@ def check_corruption_detection(nic: str, seed: int) -> CheckResult:
                        f"{'recovered' if done else 'stuck'}")
 
 
-def check_counter_consistency(nic: str, seed: int) -> CheckResult:
+def check_counter_consistency(nic: str, seed: int,
+                              faults: Optional["FaultScenario"] = None,
+                              ) -> CheckResult:
     mismatches: List[str] = []
     for verb, event in (("write", DataPacketEvent(1, 3, "ecn")),
                         ("read", DataPacketEvent(1, 2, "drop"))):
         traffic = TrafficConfig(num_connections=1, rdma_verb=verb,
                                 num_msgs_per_qp=2, message_size=10240,
                                 mtu=1024, data_pkt_events=(event,))
-        report = check_counters(run_test(_config(nic, traffic, seed)))
+        report = check_counters(
+            run_test(_config(nic, traffic, seed, faults=faults)))
+        if not report.conclusive:
+            return CheckResult.inconclusive(
+                "counter-consistency",
+                "capture gaps: trace-derived expectations unreliable")
         mismatches.extend(str(m) for m in report.mismatches)
     return CheckResult("counter-consistency", not mismatches,
                        mismatches[0] if mismatches else "all consistent")
 
 
-def check_cnp_generation(nic: str, seed: int) -> CheckResult:
+def check_cnp_generation(nic: str, seed: int,
+                         faults: Optional["FaultScenario"] = None,
+                         ) -> CheckResult:
     traffic = TrafficConfig(
         num_connections=1, rdma_verb="write", num_msgs_per_qp=2,
         message_size=10240, mtu=1024,
         data_pkt_events=(DataPacketEvent(qpn=1, psn=3, type="ecn"),),
     )
-    result = run_test(_config(nic, traffic, seed))
+    result = run_test(_config(nic, traffic, seed, faults=faults))
     report = analyze_cnps(result.trace)
+    if not report.conclusive:
+        return CheckResult.inconclusive(
+            "cnp-generation",
+            f"capture gaps: a lost clone may hide a mark or CNP; "
+            f"coverage {result.trace.coverage:.1%}")
     ok = report.total_cnps >= 1 and report.spurious_cnps == 0
     return CheckResult("cnp-generation", ok,
                        f"{report.total_cnps} CNP(s) for "
@@ -220,6 +321,7 @@ def check_cnp_generation(nic: str, seed: int) -> CheckResult:
 
 
 def check_cnp_interval(nic: str, seed: int,
+                       faults: Optional["FaultScenario"] = None,
                        configured_us: int = 8) -> CheckResult:
     traffic = TrafficConfig(
         num_connections=1, rdma_verb="write", num_msgs_per_qp=10,
@@ -228,7 +330,14 @@ def check_cnp_interval(nic: str, seed: int,
     )
     roce = RoceParameters(dcqcn_rp_enable=False,
                           min_time_between_cnps_us=configured_us)
-    result = run_test(_config(nic, traffic, seed, roce=roce))
+    result = run_test(_config(nic, traffic, seed, roce=roce, faults=faults))
+    if result.trace.has_gaps:
+        # A CNP lost from the capture *lengthens* observed intervals,
+        # so a gapped trace could false-PASS this check.
+        return CheckResult.inconclusive(
+            "cnp-interval-honoured",
+            f"capture gaps: missing CNPs would inflate the measured "
+            f"floor; coverage {result.trace.coverage:.1%}")
     interval = min_cnp_interval_ns(result.trace)
     ok = interval is not None and interval >= configured_us * 1000 * 0.9
     detail = (f"min observed {interval / 1e3:.1f} us "
@@ -236,7 +345,9 @@ def check_cnp_interval(nic: str, seed: int,
     return CheckResult("cnp-interval-honoured", ok, detail)
 
 
-def check_ets_work_conservation(nic: str, seed: int) -> CheckResult:
+def check_ets_work_conservation(nic: str, seed: int,
+                                faults: Optional["FaultScenario"] = None,
+                                ) -> CheckResult:
     from ..rdma.profiles import get_profile
 
     line = get_profile(nic).default_bandwidth_gbps
@@ -247,7 +358,7 @@ def check_ets_work_conservation(nic: str, seed: int) -> CheckResult:
         ets=EtsConfig(queues=(EtsQueueSpec(0, 50.0), EtsQueueSpec(1, 50.0)),
                       qp_to_queue={1: 0, 2: 1}),
     )
-    result = run_test(_config(nic, traffic, seed))
+    result = run_test(_config(nic, traffic, seed, faults=faults))
     goodput = per_qp_goodput_gbps(result.traffic_log)
     ok = goodput[2] > 0.62 * line
     return CheckResult("ets-work-conservation", ok,
@@ -255,13 +366,15 @@ def check_ets_work_conservation(nic: str, seed: int) -> CheckResult:
                        f"{line:.0f} Gbps")
 
 
-def check_isolation_under_read_loss(nic: str, seed: int) -> CheckResult:
+def check_isolation_under_read_loss(nic: str, seed: int,
+                                    faults: Optional["FaultScenario"] = None,
+                                    ) -> CheckResult:
     events = tuple(DataPacketEvent(qpn=q + 1, psn=5, type="drop")
                    for q in range(12))
     traffic = TrafficConfig(num_connections=24, rdma_verb="read",
                             num_msgs_per_qp=3, message_size=20480, mtu=1024,
                             barrier_sync=True, data_pkt_events=events)
-    result = run_test(_config(nic, traffic, seed))
+    result = run_test(_config(nic, traffic, seed, faults=faults))
     parts = split_mct(result.traffic_log, list(range(1, 13)))
     innocent = parts["others"]
     ok = innocent is not None and innocent.max_ns < 1_000_000
@@ -271,7 +384,8 @@ def check_isolation_under_read_loss(nic: str, seed: int) -> CheckResult:
     return CheckResult("isolation-under-read-loss", ok, detail)
 
 
-def check_timeout_spec(nic: str, seed: int) -> CheckResult:
+def check_timeout_spec(nic: str, seed: int,
+                       faults: Optional["FaultScenario"] = None) -> CheckResult:
     # Drop the last packet 3 times with timeout=10 (4.19 ms): each gap
     # must be the configured RTO and retries must not exceed budget.
     events = tuple(DataPacketEvent(qpn=1, psn=10, type="drop", iter=i)
@@ -280,9 +394,15 @@ def check_timeout_spec(nic: str, seed: int) -> CheckResult:
                             num_msgs_per_qp=1, message_size=10240, mtu=1024,
                             min_retransmit_timeout=10, max_retransmit_retry=7,
                             data_pkt_events=events)
-    result = run_test(_config(nic, traffic, seed))
+    result = run_test(_config(nic, traffic, seed, faults=faults))
     meta = result.metadata[0]
     conn = (meta.requester_ip, meta.responder_ip, meta.responder_qpn)
+    if not result.trace.conn_coverage_ok(conn):
+        # A lost clone of any reappearance corrupts the RTO ladder.
+        return CheckResult.inconclusive(
+            "timeout-spec-compliance",
+            f"capture gaps overlap the retransmission ladder; "
+            f"coverage {result.trace.coverage:.1%}")
     last_psn = (meta.requester_ipsn + 9) & 0xFFFFFF
     appearances = [p for p in result.trace.data_packets(conn)
                    if p.psn == last_psn]
@@ -296,14 +416,16 @@ def check_timeout_spec(nic: str, seed: int) -> CheckResult:
                        f"(spec {expected_ms:.2f} ms)")
 
 
-def check_reorder_tolerance(nic: str, seed: int) -> CheckResult:
+def check_reorder_tolerance(nic: str, seed: int,
+                            faults: Optional["FaultScenario"] = None,
+                            ) -> CheckResult:
     """§7 extension event: a reordered packet must not cost a timeout."""
     traffic = TrafficConfig(
         num_connections=1, rdma_verb="write", num_msgs_per_qp=2,
         message_size=10240, mtu=1024,
         data_pkt_events=(DataPacketEvent(qpn=1, psn=3, type="reorder"),),
     )
-    result = run_test(_config(nic, traffic, seed))
+    result = run_test(_config(nic, traffic, seed, faults=faults))
     done = all(m.ok for m in result.traffic_log.all_messages)
     timeouts = result.requester_counters["local_ack_timeout_err"]
     return CheckResult("reorder-tolerance", done and timeouts == 0,
@@ -311,9 +433,14 @@ def check_reorder_tolerance(nic: str, seed: int) -> CheckResult:
                        f"{timeouts} timeout(s)")
 
 
-def check_rnr_flow_control(nic: str, seed: int) -> CheckResult:
+def check_rnr_flow_control(nic: str, seed: int,
+                           faults: Optional["FaultScenario"] = None,
+                           ) -> CheckResult:
     """RC flow control: Sends without receive WQEs must RNR-NAK, then
-    complete once WQEs appear — without exploding into a retry storm."""
+    complete once WQEs appear — without exploding into a retry storm.
+
+    Drives the testbed directly (no trace involved), so measurement
+    faults cannot make it inconclusive."""
     from .. import quick_config
     from ..rdma.verbs import CompletionQueue, Verb, WcStatus, WorkRequest
     from .testbed import build_testbed
@@ -339,7 +466,7 @@ def check_rnr_flow_control(nic: str, seed: int) -> CheckResult:
                        f"{'completed after post_recv' if ok else 'failed'}")
 
 
-CHECKS: Dict[str, Callable[[str, int], CheckResult]] = {
+CHECKS: Dict[str, Callable[..., CheckResult]] = {
     "gbn-logic": check_gbn_logic,
     "fast-retransmission": check_fast_retransmission,
     "recovery-latency": check_recovery_latency,
@@ -356,11 +483,44 @@ CHECKS: Dict[str, Callable[[str, int], CheckResult]] = {
     "rnr-flow-control": check_rnr_flow_control,
 }
 
+#: What trace coverage each check needs before it can rule PASS/FAIL.
+#: ``full-trace`` — any gap invalidates the verdict; ``connection`` —
+#: only gaps overlapping the inspected connection's window matter;
+#: ``event-window`` — only gaps overlapping the injected event's
+#: recovery window matter; ``none`` — the check is counters/app-metrics
+#: only and survives arbitrary capture loss.
+COVERAGE: Dict[str, str] = {
+    "gbn-logic": "connection",
+    "fast-retransmission": "event-window",
+    "recovery-latency": "event-window",
+    "read-loss-recovery": "event-window",
+    "tail-drop-timeout": "none",
+    "corruption-detection": "none",
+    "counter-consistency": "full-trace",
+    "cnp-generation": "full-trace",
+    "cnp-interval-honoured": "full-trace",
+    "ets-work-conservation": "none",
+    "isolation-under-read-loss": "none",
+    "timeout-spec-compliance": "connection",
+    "reorder-tolerance": "none",
+    "rnr-flow-control": "none",
+}
+
+
+def _resolve_faults(faults: Optional[Union[str, "FaultScenario"]]
+                    ) -> Optional["FaultScenario"]:
+    if faults is None or not isinstance(faults, str):
+        return faults
+    from ..faults.scenarios import get_scenario
+
+    return get_scenario(faults)
+
 
 def run_conformance_suite(nic: str, seed: int = 77,
                           checks: Optional[List[str]] = None,
                           workers: int = 1,
                           runner: Optional["ParallelRunner"] = None,
+                          faults: Optional[Union[str, "FaultScenario"]] = None,
                           ) -> Scorecard:
     """Run the standard battery (or a subset) against one NIC model.
 
@@ -371,15 +531,21 @@ def run_conformance_suite(nic: str, seed: int = 77,
     each check's verdict depends only on ``(nic, seed)``. A check
     whose *execution* dies (worker lost and unrecoverable) reports as
     a failed check rather than aborting the battery.
+
+    ``faults`` (a scenario name or :class:`FaultScenario`) runs every
+    check under injected measurement-plane faults: trace-based checks
+    whose inspected window is hit by a capture gap come back
+    INCONCLUSIVE instead of a false verdict (see ``COVERAGE``).
     """
     selected = checks or list(CHECKS)
     unknown = set(selected) - set(CHECKS)
     if unknown:
         raise KeyError(f"unknown checks: {sorted(unknown)}")
+    scenario = _resolve_faults(faults)
     card = Scorecard(nic=nic)
     if workers <= 1 and runner is None:
         for name in selected:
-            card.results.append(CHECKS[name](nic, seed))
+            card.results.append(CHECKS[name](nic, seed, scenario))
         return card
 
     from ..exec import ParallelRunner
@@ -389,8 +555,17 @@ def run_conformance_suite(nic: str, seed: int = 77,
     if owns_runner:
         runner = ParallelRunner(run_check_task, workers=workers)
     try:
-        outcomes = runner.map([{"check": name, "nic": nic, "seed": seed}
-                               for name in selected])
+        payloads = []
+        for name in selected:
+            payload: Dict[str, object] = {"check": name, "nic": nic,
+                                          "seed": seed}
+            if scenario is not None:
+                # FaultScenario is a frozen dataclass: pickles fine, so
+                # ad-hoc scenarios work across the pool, not just named
+                # presets.
+                payload["faults"] = scenario
+            payloads.append(payload)
+        outcomes = runner.map(payloads)
     finally:
         if owns_runner:
             runner.close()

@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from typing import Optional
+
 from ..dumper.pool import DumperPool
+from ..faults.injector import MeasurementFaultInjector, build_injector
 from ..net.addressing import parse_cidr
 from ..net.link import connect, gbps
 from ..rdma.nic import RdmaNic
@@ -50,6 +53,10 @@ class Testbed:
     switch_controller: SwitchController
     dumpers: DumperPool
     config: TestConfig
+    #: Measurement-plane fault injector, when armed for this attempt.
+    fault_injector: Optional[MeasurementFaultInjector] = None
+    #: 1-based attempt number this testbed was built for.
+    attempt: int = 1
 
 
 def _build_host(sim: Simulator, rng: SimRandom, name: str,
@@ -70,10 +77,20 @@ def _build_host(sim: Simulator, rng: SimRandom, name: str,
     return Host(name=name, nic=nic, ips=list(ips))
 
 
-def build_testbed(config: TestConfig) -> Testbed:
-    """Construct and wire every component of the Fig. 1 topology."""
+def build_testbed(config: TestConfig, attempt: int = 1) -> Testbed:
+    """Construct and wire every component of the Fig. 1 topology.
+
+    ``attempt`` is the orchestrator's 1-based retry counter. The first
+    attempt uses the plain seed namespace (bit-for-bit identical to the
+    pre-retry behaviour); later attempts derive an attempt-specific RNG
+    stream so a re-run explores different stochastic latencies while
+    remaining fully reproducible.
+    """
     sim = Simulator()
-    rng = SimRandom(config.seed)
+    if attempt == 1:
+        rng = SimRandom(config.seed)
+    else:
+        rng = SimRandom(config.seed, f"root/attempt{attempt}")
 
     requester = _build_host(sim, rng, "requester", config.requester,
                             config.traffic.mtu,
@@ -82,6 +99,9 @@ def build_testbed(config: TestConfig) -> Testbed:
                             config.traffic.mtu,
                             config.responder.roce.adaptive_retrans)
 
+    injector = build_injector(sim, config.measurement_faults,
+                              rng.child("measurement-faults"), attempt)
+
     switch = TofinoSwitch(
         sim, "tofino", rng,
         event_injection=config.switch.event_injection,
@@ -89,6 +109,7 @@ def build_testbed(config: TestConfig) -> Testbed:
         randomize_mirror_udp_port=config.switch.randomize_mirror_udp_port,
         ecn_threshold_bytes=(config.switch.ecn_threshold_kb * 1024
                              if config.switch.ecn_threshold_kb else None),
+        mirror_faults=injector,
     )
     controller = SwitchController(switch)
 
@@ -114,18 +135,23 @@ def build_testbed(config: TestConfig) -> Testbed:
     dumpers = DumperPool(sim)
     pool_bw = config.dumpers.bandwidth_gbps
     host_bw = max(requester.nic.port.bandwidth_bps, responder.nic.port.bandwidth_bps)
+    ring_slots = config.dumpers.ring_slots
+    faults = config.measurement_faults
+    if (faults is not None and faults.ring_slots is not None
+            and faults.active_on(attempt)):
+        ring_slots = faults.ring_slots
     for _ in range(config.dumpers.num_servers):
         dumpers.add_server(
             switch,
             bandwidth_bps=gbps(pool_bw) if pool_bw else host_bw,
             num_cores=config.dumpers.cores_per_server,
             core_service_ns=config.dumpers.core_service_ns,
-            ring_slots=config.dumpers.ring_slots,
+            ring_slots=ring_slots,
             propagation_delay_ns=delay,
         )
 
     return Testbed(
         sim=sim, rng=rng, requester=requester, responder=responder,
         switch=switch, switch_controller=controller, dumpers=dumpers,
-        config=config,
+        config=config, fault_injector=injector, attempt=attempt,
     )

@@ -24,7 +24,7 @@ from ..net.headers import Opcode
 from ..net.packet import EventType
 from ..switch.itertrack import IterTracker
 
-__all__ = ["TracePacket", "PacketTrace", "IntegrityReport",
+__all__ = ["TracePacket", "TraceGap", "PacketTrace", "IntegrityReport",
            "reconstruct_trace", "check_integrity", "format_trace"]
 
 
@@ -73,6 +73,50 @@ class TracePacket:
         return self.record.event_type == EventType.ECN
 
 
+@dataclass(frozen=True)
+class TraceGap:
+    """A contiguous range of mirror sequence numbers missing from a trace.
+
+    Gaps are first-class: capture loss (mirror-link drops, dumper ring
+    overflow) must not silently degrade analysis. The surrounding switch
+    timestamps bound *when* the hole occurred; either bound is None when
+    the gap touches the head or tail of the trace, in which case the
+    window is treated as open-ended (conservative for overlap queries).
+    """
+
+    first_seq: int
+    last_seq: int
+    #: Switch timestamp of the last packet before the gap (None = head gap).
+    before_ns: Optional[int] = None
+    #: Switch timestamp of the first packet after the gap (None = tail gap).
+    after_ns: Optional[int] = None
+
+    @property
+    def count(self) -> int:
+        return self.last_seq - self.first_seq + 1
+
+    def overlaps(self, start_ns: int, end_ns: int) -> bool:
+        """Whether the gap's time window intersects [start_ns, end_ns].
+
+        Open bounds count as overlap: a head/tail gap could hide
+        packets from any time before/after its known edge.
+        """
+        if self.after_ns is not None and self.after_ns < start_ns:
+            return False
+        if self.before_ns is not None and self.before_ns > end_ns:
+            return False
+        return True
+
+    def __str__(self) -> str:
+        if self.first_seq == self.last_seq:
+            span = f"seq {self.first_seq}"
+        else:
+            span = f"seqs {self.first_seq}-{self.last_seq}"
+        before = "start" if self.before_ns is None else f"{self.before_ns}ns"
+        after = "end" if self.after_ns is None else f"{self.after_ns}ns"
+        return f"gap of {self.count} ({span}) between {before} and {after}"
+
+
 @dataclass
 class PacketTrace:
     """The reconstructed, time-ordered view of everything on the wire.
@@ -86,9 +130,14 @@ class PacketTrace:
     """
 
     packets: List[TracePacket] = field(default_factory=list)
+    #: How many packets the switch claims to have mirrored; bounds the
+    #: mirror-seq space for gap detection (None = trust the trace).
+    expected_packets: Optional[int] = None
     _by_conn: Optional[Dict[Tuple[int, int, int], List[TracePacket]]] = \
         field(default=None, repr=False, compare=False)
     _by_identity: Optional[Dict[Tuple, TracePacket]] = \
+        field(default=None, repr=False, compare=False)
+    _gaps: Optional[List[TraceGap]] = \
         field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
@@ -142,6 +191,72 @@ class PacketTrace:
         self._index()
         assert self._by_identity is not None
         return self._by_identity.get((conn_key, psn, iteration))
+
+    @property
+    def gaps(self) -> List[TraceGap]:
+        """Missing mirror-seq ranges, annotated with bounding timestamps.
+
+        Packets arrive sorted by mirror sequence (reconstruct_trace
+        guarantees it), so a single pass finds every hole. When the
+        switch mirrored more packets than the trace holds, the shortfall
+        shows up as a tail gap — the case the naive len()-based check
+        was blind to.
+        """
+        if self._gaps is None:
+            gaps: List[TraceGap] = []
+            prev_seq = -1
+            prev_ts: Optional[int] = None
+            for pkt in self.packets:
+                if pkt.mirror_seq > prev_seq + 1:
+                    gaps.append(TraceGap(
+                        first_seq=prev_seq + 1,
+                        last_seq=pkt.mirror_seq - 1,
+                        before_ns=prev_ts,
+                        after_ns=pkt.timestamp_ns,
+                    ))
+                prev_seq = pkt.mirror_seq
+                prev_ts = pkt.timestamp_ns
+            if self.expected_packets is not None and prev_seq + 1 < self.expected_packets:
+                gaps.append(TraceGap(
+                    first_seq=prev_seq + 1,
+                    last_seq=self.expected_packets - 1,
+                    before_ns=prev_ts,
+                    after_ns=None,
+                ))
+            self._gaps = gaps
+        return self._gaps
+
+    @property
+    def has_gaps(self) -> bool:
+        return bool(self.gaps)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the mirror-seq space present in the trace."""
+        total = len(self.packets) + sum(g.count for g in self.gaps)
+        if total == 0:
+            return 1.0
+        return len(self.packets) / total
+
+    def gaps_overlap_window(self, start_ns: int, end_ns: int) -> bool:
+        """Whether any capture gap could hide packets in [start, end]."""
+        return any(g.overlaps(start_ns, end_ns) for g in self.gaps)
+
+    def conn_coverage_ok(self, conn_key: Tuple[int, int, int]) -> bool:
+        """Whether this connection's packets are provably all present.
+
+        False when a gap's time window intersects the connection's
+        lifetime, or when the connection is absent from a gapped trace
+        (the gap itself could be hiding the whole connection).
+        """
+        if not self.gaps:
+            return True
+        pkts = self._index().get(conn_key)
+        if not pkts:
+            return False
+        first = pkts[0].timestamp_ns
+        last = pkts[-1].timestamp_ns
+        return not self.gaps_overlap_window(first, last)
 
 
 @dataclass
@@ -208,8 +323,14 @@ def format_trace(trace: PacketTrace, limit: Optional[int] = None,
     return "\n".join(lines)
 
 
-def reconstruct_trace(records: Iterable[DumpRecord]) -> PacketTrace:
-    """Sort dumped records by mirror sequence and re-derive ITERs."""
+def reconstruct_trace(records: Iterable[DumpRecord],
+                      expected_packets: Optional[int] = None) -> PacketTrace:
+    """Sort dumped records by mirror sequence and re-derive ITERs.
+
+    ``expected_packets`` is the switch's mirrored-packet count; passing
+    it lets the trace annotate *tail* losses (mirror seqs beyond the
+    last captured packet) as gaps, which the trace alone cannot see.
+    """
     parsed = sorted((parse_record(r) for r in records), key=lambda p: p.mirror_seq)
     tracker = IterTracker(max_connections=1_000_000)
     packets = []
@@ -217,16 +338,22 @@ def reconstruct_trace(records: Iterable[DumpRecord]) -> PacketTrace:
         iteration = tracker.update(record.ip.src_ip, record.ip.dst_ip,
                                    record.bth.dest_qp, record.bth.psn)
         packets.append(TracePacket(record=record, iteration=iteration))
-    return PacketTrace(packets=packets)
+    return PacketTrace(packets=packets, expected_packets=expected_packets)
 
 
 def check_integrity(trace: PacketTrace, switch_counters: Dict) -> IntegrityReport:
-    """Apply the three §3.5 conditions against the switch's counters."""
+    """Apply the three §3.5 conditions against the switch's counters.
+
+    ``missing_seqs`` is computed against the switch's *mirrored* count,
+    not the trace length: with seqs [0,1,2] and mirrored=5 the missing
+    set is [3,4]. The old ``range(len(seqs))`` form could never report
+    a tail loss — every lost-highest-seq capture looked gapless.
+    """
     seqs = [p.mirror_seq for p in trace.packets]
     mirrored = int(switch_counters.get("mirrored_packets", 0))
     roce_rx = int(switch_counters.get("roce_rx_packets", 0))
-    expected = set(range(len(seqs)))
-    missing = sorted(expected - set(seqs))
+    expected_count = mirrored if mirrored else len(seqs)
+    missing = sorted(set(range(expected_count)) - set(seqs))
     consecutive = seqs == list(range(len(seqs))) and len(set(seqs)) == len(seqs)
     return IntegrityReport(
         seq_consecutive=consecutive,

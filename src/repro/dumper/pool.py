@@ -78,5 +78,21 @@ class DumperPool:
         return sum(server.rx_discards for server in self.servers)
 
     @property
+    def total_term_dropped(self) -> int:
+        """Packets lost in core rings at TERM, across the pool."""
+        return sum(server.term_dropped for server in self.servers)
+
+    @property
+    def total_backlog(self) -> int:
+        """Packets currently queued in core rings, across the pool."""
+        return sum(core.backlog for server in self.servers
+                   for core in server.cores)
+
+    @property
     def total_buffered(self) -> int:
         return sum(server.buffered_records for server in self.servers)
+
+    @property
+    def per_core_stats(self) -> dict:
+        """Per-server, per-core processed/dropped/term_dropped stats."""
+        return {server.name: server.core_stats for server in self.servers}

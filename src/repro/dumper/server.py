@@ -48,6 +48,8 @@ class _Core:
         self.free_at = 0
         self.processed = 0
         self.dropped = 0
+        #: Packets still in the ring at TERM — lost, but *counted*.
+        self.term_dropped = 0
 
 
 class DumperServer(Node):
@@ -65,9 +67,14 @@ class DumperServer(Node):
         self._terminated = False
         self._disk_file: Optional[List[DumpRecord]] = None
         self.rx_discards = 0
+        self.term_dropped = 0
         tel = telemetry.current()
         self._m_records = tel.counter("dumper_records", server=name)
         self._m_discards = tel.counter("dumper_discards", server=name)
+        self._m_ring = [
+            tel.gauge("dumper_ring_occupancy", server=name, core=str(i))
+            for i in range(num_cores)
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -88,13 +95,18 @@ class DumperServer(Node):
             self._m_discards.inc()
             return
         core.backlog += 1
+        self._m_ring[core.index].set(core.backlog)
         start = max(self.sim.now, core.free_at)
         core.free_at = start + core.service_ns
         self.sim.schedule(core.free_at - self.sim.now, self._process, core, packet)
 
     def _process(self, core: _Core, packet: Packet) -> None:
+        if self._terminated:
+            # The ring's contents were already accounted as term_dropped.
+            return
         core.backlog -= 1
         core.processed += 1
+        self._m_ring[core.index].set(core.backlog)
         # Copy only the first 128 bytes into pre-allocated memory (§5).
         self._records.append(make_record(packet, self.sim.now, self.name, core.index))
         self._m_records.inc()
@@ -104,9 +116,20 @@ class DumperServer(Node):
         """Handle the orchestrator's TERM: restore UDP ports, write disk.
 
         Returns the written records. Packets still queued in core rings
-        at TERM time are lost, as they would be in the real dumper.
+        at TERM time are lost, as they would be in the real dumper —
+        but they are *counted* (``term_dropped``, folded into
+        ``rx_discards``) so a broken-capture run cannot under-report
+        its own discards exactly when integrity fails.
         """
         self._terminated = True
+        for core in self.cores:
+            if core.backlog:
+                core.term_dropped = core.backlog
+                self.term_dropped += core.backlog
+                self.rx_discards += core.backlog
+                self._m_discards.inc(core.backlog)
+                core.backlog = 0
+                self._m_ring[core.index].set(0)
         self._disk_file = [record.restored() for record in self._records]
         return self._disk_file
 
@@ -122,6 +145,7 @@ class DumperServer(Node):
     @property
     def core_stats(self) -> List[dict]:
         return [
-            {"core": c.index, "processed": c.processed, "dropped": c.dropped}
+            {"core": c.index, "processed": c.processed, "dropped": c.dropped,
+             "term_dropped": c.term_dropped}
             for c in self.cores
         ]

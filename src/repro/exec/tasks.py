@@ -48,11 +48,19 @@ def score_config_task(payload: Dict[str, Any]):
 def run_check_task(payload: Dict[str, Any]):
     """Conformance-suite unit: run one named check for (nic, seed).
 
-    Payload: ``{"check": str, "nic": str, "seed": int}``.
+    Payload: ``{"check": str, "nic": str, "seed": int}`` plus an
+    optional ``"faults"`` entry — a measurement-fault scenario name or
+    :class:`~repro.faults.scenarios.FaultScenario` — to run the check
+    under injected capture faults.
     """
     from ..core.suite import CHECKS
 
-    return CHECKS[payload["check"]](payload["nic"], payload["seed"])
+    faults = payload.get("faults")
+    if isinstance(faults, str):
+        from ..faults.scenarios import get_scenario
+
+        faults = get_scenario(faults)
+    return CHECKS[payload["check"]](payload["nic"], payload["seed"], faults)
 
 
 def run_config_task(payload: Dict[str, Any]):
@@ -78,6 +86,7 @@ def run_summary_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "ok": result.ok,
         "integrity_ok": result.integrity.ok,
+        "attempts": result.attempts_used,
         "duration_ns": result.duration_ns,
         "trace_packets": len(result.trace),
         "aborted_qps": log.aborted_qps,

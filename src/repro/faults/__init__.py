@@ -1,0 +1,25 @@
+"""Measurement-plane fault injection (mirror → dumper path).
+
+Lumina's §3.4/§3.5 integrity scheme exists because the capture path can
+fail: mirrored clones are dropped on the switch→dumper links or shed
+from overfull dumper rings, and the run must then be detected as
+unreliable and redone. This package stresses that path deterministically
+— seeded loss/delay on mirror clones, undersized-ring pressure — so the
+orchestrator's gap annotation, INCONCLUSIVE outcomes and retry policy
+can themselves be tested.
+
+Fault *configuration* lives on :class:`repro.core.config.TestConfig`
+(``measurement_faults`` / ``retry``); this package holds the runtime
+injector and the named scenario presets exposed by the CLI.
+"""
+
+from .injector import MeasurementFaultInjector, build_injector
+from .scenarios import SCENARIOS, FaultScenario, get_scenario
+
+__all__ = [
+    "MeasurementFaultInjector",
+    "build_injector",
+    "FaultScenario",
+    "SCENARIOS",
+    "get_scenario",
+]

@@ -1,0 +1,84 @@
+"""Named measurement-fault scenarios for the CLI and CI smoke runs.
+
+Each scenario bundles a :class:`MeasurementFaultConfig` with the retry
+policy that makes sense for it, so ``--measurement-faults mirror-loss``
+is a one-flag way to run any test under capture stress. Scenarios are
+applied with :func:`FaultScenario.apply`, which rewrites an existing
+:class:`TestConfig` without touching traffic or topology — the data
+path stays byte-identical, only the measurement plane degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.config import MeasurementFaultConfig, RetryPolicy, TestConfig
+
+__all__ = ["FaultScenario", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    name: str
+    description: str
+    faults: MeasurementFaultConfig
+    retry: RetryPolicy
+
+    def apply(self, config: TestConfig) -> TestConfig:
+        """The same test, run under this scenario's capture faults."""
+        return replace(config, measurement_faults=self.faults, retry=self.retry)
+
+
+SCENARIOS = {
+    scenario.name: scenario
+    for scenario in (
+        FaultScenario(
+            name="mirror-loss",
+            description="drop every 7th mirror clone; retry once on "
+                        "integrity failure",
+            faults=MeasurementFaultConfig(mirror_loss_period=7),
+            retry=RetryPolicy(max_attempts=2),
+        ),
+        FaultScenario(
+            name="mirror-loss-burst",
+            description="bursts of 3 consecutive clones lost every 50 "
+                        "clones",
+            faults=MeasurementFaultConfig(mirror_loss_period=50,
+                                          mirror_loss_burst=3),
+            retry=RetryPolicy(max_attempts=2),
+        ),
+        FaultScenario(
+            name="mirror-delay",
+            description="hold every 5th clone for 3 ms; the adaptive "
+                        "drain must still capture it",
+            faults=MeasurementFaultConfig(mirror_delay_period=5,
+                                          mirror_delay_ns=3_000_000),
+            retry=RetryPolicy(max_attempts=1),
+        ),
+        FaultScenario(
+            name="ring-pressure",
+            description="shrink dumper rings to 8 slots to force "
+                        "rx_discards under load",
+            faults=MeasurementFaultConfig(ring_slots=8),
+            retry=RetryPolicy(max_attempts=2),
+        ),
+        FaultScenario(
+            name="flaky-capture",
+            description="mirror loss on attempt 1 only; attempt 2 runs "
+                        "clean, so the retry policy converges",
+            faults=MeasurementFaultConfig(mirror_loss_period=5,
+                                          heal_after_attempt=1),
+            retry=RetryPolicy(max_attempts=3),
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> FaultScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown measurement-fault scenario {name!r}; "
+            f"known: {sorted(SCENARIOS)}"
+        ) from None

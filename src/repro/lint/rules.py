@@ -147,10 +147,11 @@ class WallClockRule(Rule):
     name = "wall-clock-in-sim"
     severity = Severity.ERROR
     description = ("wall-clock call inside simulation code "
-                   "(sim/, switch/, rdma/, core/)")
+                   "(sim/, switch/, rdma/, core/, faults/, dumper/)")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        if not _in_dir(ctx.path, "sim", "switch", "rdma", "core"):
+        if not _in_dir(ctx.path, "sim", "switch", "rdma", "core",
+                       "faults", "dumper"):
             return
         allowed: Set[str] = set()
         for suffix, callees in _DET001_SCOPED_ALLOW.items():

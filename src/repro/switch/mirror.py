@@ -19,14 +19,26 @@ servers is loaded proportionally to capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..net.link import Port
 from ..net.packet import Packet
 from ..sim.rng import SimRandom
 from ..telemetry import runtime as telemetry
 
-__all__ = ["MirrorBlock", "MirrorTarget"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..faults.injector import MeasurementFaultInjector
+
+__all__ = ["MirrorBlock", "MirrorTarget", "MirrorConfigError"]
+
+
+class MirrorConfigError(RuntimeError):
+    """The mirror block is in a state it cannot mirror from.
+
+    Raised instead of ``assert`` so the checks survive ``python -O``:
+    a silently mis-mirrored run would corrupt the very trace the
+    integrity scheme is supposed to protect.
+    """
 
 _MASK48 = 0xFFFFFFFFFFFF
 
@@ -48,10 +60,12 @@ class MirrorTarget:
 class MirrorBlock:
     """The switch's mirroring stage."""
 
-    def __init__(self, rng: SimRandom, randomize_udp_port: bool = True):
+    def __init__(self, rng: SimRandom, randomize_udp_port: bool = True,
+                 faults: Optional["MeasurementFaultInjector"] = None):
         self._rng = rng.child("mirror")
         self.randomize_udp_port = randomize_udp_port
         self._targets: List[MirrorTarget] = []
+        self._faults = faults
         self.mirror_seq = 0          # next sequence number to assign
         self.mirrored_packets = 0
         tel = telemetry.current()
@@ -67,7 +81,8 @@ class MirrorBlock:
 
     def _pick_target(self) -> MirrorTarget:
         """Smooth weighted round-robin (nginx-style)."""
-        assert self._targets, "mirror block has no dumper targets"
+        if not self._targets:
+            raise MirrorConfigError("mirror block has no dumper targets")
         total = 0
         best: Optional[MirrorTarget] = None
         for target in self._targets:
@@ -75,7 +90,8 @@ class MirrorBlock:
             total += target.weight
             if best is None or target.current > best.current:
                 best = target
-        assert best is not None
+        if best is None:
+            raise MirrorConfigError("weighted round-robin selected no target")
         best.current -= total
         return best
 
@@ -101,8 +117,13 @@ class MirrorBlock:
         self.mirrored_packets += 1
         target = self._pick_target()
         target.packets += 1
-        target.port.send(clone)
         self._m_mirrored.inc()
+        # The fault injector models loss/delay *after* the switch has
+        # stamped the clone — the seq is consumed either way, exactly
+        # like a real mirror drop between switch and dumper.
+        if self._faults is not None and self._faults.on_mirror(target.port, clone):
+            return clone
+        target.port.send(clone)
         self._m_queue.set(target.port.queued_bytes)
         return clone
 

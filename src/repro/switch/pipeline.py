@@ -48,7 +48,8 @@ class TofinoSwitch(Node):
                  event_injection: bool = True, mirroring: bool = True,
                  event_table_capacity: int = 140_000,
                  randomize_mirror_udp_port: bool = True,
-                 ecn_threshold_bytes: Optional[int] = None):
+                 ecn_threshold_bytes: Optional[int] = None,
+                 mirror_faults=None):
         super().__init__(sim, name)
         self.event_injection = event_injection
         self.mirroring = mirroring
@@ -60,7 +61,11 @@ class TofinoSwitch(Node):
         self.event_table = MatchActionTable(capacity=event_table_capacity)
         self.rewrite_rules: List[RewriteRule] = []
         self.iter_tracker = IterTracker()
-        self.mirror = MirrorBlock(rng, randomize_udp_port=randomize_mirror_udp_port)
+        #: Optional measurement-plane fault injector (mirror-path loss
+        #: and delay); None keeps the capture path pristine.
+        self.mirror_faults = mirror_faults
+        self.mirror = MirrorBlock(rng, randomize_udp_port=randomize_mirror_udp_port,
+                                  faults=mirror_faults)
         self._forwarding: Dict[int, Port] = {}
         # Counters for the §3.5 integrity check.
         self.roce_rx_packets = 0
@@ -228,7 +233,7 @@ class TofinoSwitch(Node):
     # ------------------------------------------------------------------
     def dump_counters(self) -> Dict[str, object]:
         """Per-port and aggregate counters, as the control plane reports."""
-        return {
+        counters: Dict[str, object] = {
             "roce_rx_packets": self.roce_rx_packets,
             "roce_tx_packets": self.roce_tx_packets,
             "mirrored_packets": self.mirror.mirrored_packets,
@@ -253,3 +258,6 @@ class TofinoSwitch(Node):
                 for port in self.ports
             },
         }
+        if self.mirror_faults is not None:
+            counters.update(self.mirror_faults.counters())
+        return counters

@@ -31,6 +31,10 @@ _HEADLINE_METRICS = (
     ("switch_mirrored_packets", "packets mirrored"),
     ("dumper_records", "dumper records captured"),
     ("dumper_discards", "dumper discards"),
+    ("fault_mirror_dropped", "mirror clones dropped (fault inj.)"),
+    ("fault_mirror_delayed", "mirror clones delayed (fault inj.)"),
+    ("run_integrity_failures", "integrity failures"),
+    ("run_retries", "integrity-driven retries"),
 )
 
 

@@ -159,6 +159,32 @@ class TestDumperServer:
         assert parse_record(records[0]).udp.dst_port == ROCEV2_UDP_PORT
         assert server.disk_file is not None
 
+    def test_terminate_counts_ring_backlog_as_lost(self, sim):
+        # Slow cores + a burst: TERM arrives while rings still hold
+        # packets. Those packets never become records, so they must be
+        # visible as capture loss, not silently vanish.
+        server, out = wire_server(sim, num_cores=2, ring_slots=64,
+                                  core_service_ns=50_000)
+        for i in range(32):
+            out.send(mirrored_packet(psn=i, udp_dst=4791))
+        sim.run_for(100_000)  # deliver the burst, barely service any
+        backlog = sum(core.backlog for core in server.cores)
+        assert backlog > 0
+        records = server.terminate()
+        assert server.term_dropped == backlog
+        assert server.rx_discards == backlog  # folded into discards
+        assert len(records) + backlog == 32   # nothing vanishes uncounted
+        assert sum(c["term_dropped"] for c in server.core_stats) == backlog
+        assert all(core.backlog == 0 for core in server.cores)
+
+    def test_terminate_with_empty_rings_drops_nothing(self, sim):
+        server, out = wire_server(sim)
+        out.send(mirrored_packet(udp_dst=4791))
+        sim.run()
+        server.terminate()
+        assert server.term_dropped == 0
+        assert server.rx_discards == 0
+
     def test_packets_after_terminate_ignored(self, sim):
         server, out = wire_server(sim)
         server.terminate()

@@ -74,6 +74,30 @@ def test_det001_negative_outside_scoped_dirs():
     """, path="repro/telemetry/thing.py") == []
 
 
+def test_det001_covers_faults_and_dumper_dirs():
+    # The measurement-fault layer and the dumpers are simulation code:
+    # a wall-clock read there would make capture loss host-speed
+    # dependent.
+    src = """
+        import time
+
+        def f():
+            return time.time()
+    """
+    assert codes(lint(src, path="repro/faults/injector.py")) == ["DET001"]
+    assert codes(lint(src, path="repro/dumper/server.py")) == ["DET001"]
+
+
+def test_det002_covers_faults_dir():
+    findings = lint("""
+        import random
+
+        def f():
+            return random.random()
+    """, path="repro/faults/injector.py")
+    assert codes(findings) == ["DET002"]
+
+
 def test_det001_negative_engine_clock_is_fine():
     assert lint("""
         def f(sim):

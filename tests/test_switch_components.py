@@ -8,7 +8,7 @@ from repro.net.packet import EventType, Packet
 from repro.sim.rng import SimRandom
 from repro.switch.events import EventAction, EventEntry, RewriteRule
 from repro.switch.itertrack import IterTracker
-from repro.switch.mirror import MirrorBlock
+from repro.switch.mirror import MirrorBlock, MirrorConfigError
 from repro.switch.tables import MatchActionTable
 
 
@@ -283,3 +283,13 @@ class TestMirrorBlock:
         block.reset()
         assert block.mirror_seq == 0
         assert block.mirrored_packets == 0
+
+    def test_pick_target_without_targets_raises(self, sim):
+        # mirror() returns None gracefully, but the selector itself must
+        # fail loudly (it used to be a bare assert, stripped by -O).
+        block = MirrorBlock(SimRandom(1))
+        with pytest.raises(MirrorConfigError, match="no dumper targets"):
+            block._pick_target()
+
+    def test_mirror_config_error_is_runtime_error(self, sim):
+        assert issubclass(MirrorConfigError, RuntimeError)

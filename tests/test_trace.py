@@ -1,6 +1,8 @@
 """Unit tests for trace reconstruction and the integrity check (§3.5)."""
 
-from repro.core.trace import check_integrity, reconstruct_trace
+import pytest
+
+from repro.core.trace import TraceGap, check_integrity, reconstruct_trace
 from repro.dumper.records import make_record
 from repro.net.headers import (
     AckExtendedHeader,
@@ -140,3 +142,86 @@ class TestIntegrity:
     def test_empty_trace_with_zero_counters_passes(self):
         report = check_integrity(reconstruct_trace([]), self._counters(0, 0))
         assert report.ok
+
+    # Regression: ``missing`` used to be computed against the *trace's*
+    # own max seq, so losses at the tail (or an entirely lost capture)
+    # produced missing=[] and hid the damage behind the blunt count
+    # mismatch. The switch's mirrored count is the ground truth.
+    def test_head_loss_missing_seqs(self):
+        records = [mirrored(i, 10 + i) for i in (2, 3)]  # seqs 0, 1 lost
+        report = check_integrity(reconstruct_trace(records),
+                                 self._counters(4, 4))
+        assert not report.ok
+        assert report.missing_seqs == [0, 1]
+
+    def test_middle_loss_missing_seqs(self):
+        records = [mirrored(i, 10 + i) for i in (0, 3)]
+        report = check_integrity(reconstruct_trace(records),
+                                 self._counters(4, 4))
+        assert report.missing_seqs == [1, 2]
+
+    def test_tail_loss_missing_seqs(self):
+        records = [mirrored(i, 10 + i) for i in (0, 1)]  # seqs 2, 3 lost
+        report = check_integrity(reconstruct_trace(records),
+                                 self._counters(4, 4))
+        assert not report.ok
+        assert report.missing_seqs == [2, 3]
+
+    def test_fully_lost_capture_reports_every_seq(self):
+        report = check_integrity(reconstruct_trace([]), self._counters(3, 3))
+        assert not report.ok
+        assert report.missing_seqs == [0, 1, 2]
+
+
+class TestGaps:
+    def test_complete_trace_has_no_gaps(self):
+        trace = reconstruct_trace([mirrored(i, 10 + i) for i in range(4)],
+                                  expected_packets=4)
+        assert not trace.has_gaps
+        assert trace.gaps == []
+        assert trace.coverage == 1.0
+
+    def test_interior_gap_annotated_with_timestamps(self):
+        records = [mirrored(i, 10 + i, timestamp=i * 1000) for i in (0, 3)]
+        trace = reconstruct_trace(records, expected_packets=4)
+        assert len(trace.gaps) == 1
+        gap = trace.gaps[0]
+        assert (gap.first_seq, gap.last_seq) == (1, 2)
+        assert gap.count == 2
+        assert gap.before_ns == 0
+        assert gap.after_ns == 3000
+        assert trace.coverage == pytest.approx(0.5)
+
+    def test_tail_gap_needs_expected_count(self):
+        records = [mirrored(i, 10 + i) for i in (0, 1)]
+        assert not reconstruct_trace(records).has_gaps
+        trace = reconstruct_trace(records, expected_packets=4)
+        assert len(trace.gaps) == 1
+        assert (trace.gaps[0].first_seq, trace.gaps[0].last_seq) == (2, 3)
+        assert trace.gaps[0].after_ns is None
+
+    def test_gap_overlap_window(self):
+        gap = TraceGap(first_seq=1, last_seq=2, before_ns=100, after_ns=500)
+        assert gap.overlaps(200, 300)
+        assert gap.overlaps(0, 150)
+        assert not gap.overlaps(600, 900)
+        assert not gap.overlaps(0, 99)
+        # Open bounds are conservative: unknown extent always overlaps.
+        tail = TraceGap(first_seq=5, last_seq=6, before_ns=100, after_ns=None)
+        assert tail.overlaps(1_000_000, 2_000_000)
+
+    def test_conn_coverage(self):
+        records = [
+            mirrored(0, 10, timestamp=100, qpn=1),
+            mirrored(1, 20, timestamp=200, qpn=2),
+            mirrored(3, 11, timestamp=400, qpn=1),  # seq 2 lost
+        ]
+        trace = reconstruct_trace(records, expected_packets=4)
+        assert trace.has_gaps
+        # Both live connections span the gap window, and an unseen
+        # connection may have lived entirely inside the hole.
+        assert not trace.conn_coverage_ok((1, 2, 1))
+        assert not trace.conn_coverage_ok((9, 9, 9))
+        clean = reconstruct_trace([mirrored(i, 10 + i) for i in range(3)],
+                                  expected_packets=3)
+        assert clean.conn_coverage_ok((1, 2, 9))
