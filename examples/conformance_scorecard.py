@@ -11,13 +11,14 @@ Run:  python examples/conformance_scorecard.py
       python -m repro suite cx6        # same thing for one NIC
 """
 
-from repro.core.suite import CHECKS, run_conformance_suite
+from repro import run_suite
+from repro.core.suite import CHECKS
 
 NICS = ("ideal", "cx4", "cx5", "cx6", "e810")
 
 
 def main() -> None:
-    cards = {nic: run_conformance_suite(nic) for nic in NICS}
+    cards = {nic: run_suite(nic) for nic in NICS}
 
     # Matrix view: one row per check, one column per NIC.
     name_width = max(len(name) for name in CHECKS) + 2

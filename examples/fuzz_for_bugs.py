@@ -13,7 +13,7 @@ Points the fuzzer at two targets:
 Run:  python examples/fuzz_for_bugs.py
 """
 
-from repro import quick_config
+from repro import quick_config, run_fuzz_campaign
 from repro.core.config import TrafficConfig
 from repro.core.fuzz import LuminaFuzzer
 
@@ -22,8 +22,10 @@ def hunt_general_e810() -> None:
     print("=== target 1: general anomaly hunt on an E810 pair ===")
     base = quick_config(nic="e810", verb="write", num_msgs=2,
                         message_size=10240, num_connections=2)
-    fuzzer = LuminaFuzzer(base, seed=7, anomaly_threshold=2.5)
-    report = fuzzer.run(iterations=15)
+    # The one-call facade; pass campaign_dir= to make the hunt
+    # resumable and its runs replayable from the on-disk store.
+    report = run_fuzz_campaign(base, iterations=15, seed=7,
+                               anomaly_threshold=2.5)
     print(f"iterations: {report.iterations_run}, "
           f"findings: {len(report.findings)}, "
           f"invalid runs: {report.invalid_runs}")

@@ -10,11 +10,8 @@ Run:  python examples/quickstart.py
 """
 
 from repro import quick_config, run_test
-from repro.core.analyzers import (
-    analyze_retransmissions,
-    check_counters,
-    check_gbn_compliance,
-)
+from repro.api import get_analyzer
+from repro.core.analyzers import AnalyzerContext
 
 
 def main() -> None:
@@ -44,8 +41,11 @@ def main() -> None:
     print(f"NAKs on the wire: {[(p.psn) for p in naks]}")
     print()
 
-    # 4. Retransmission-performance analyzer (Fig. 5 breakdown).
-    for event in analyze_retransmissions(result.trace):
+    # 4. Retransmission-performance analyzer (Fig. 5 breakdown). Every
+    #    analyzer shares one protocol: analyze(trace, ctx) returns a
+    #    uniform verdict with the rich per-analyzer report on .data.
+    ctx = AnalyzerContext.for_result(result)
+    for event in get_analyzer("retransmission").analyze(result.trace, ctx).data:
         print(f"drop PSN {event.dropped_psn}:")
         print(f"  NACK generation : {event.nack_generation_ns / 1e3:6.1f} us")
         print(f"  NACK reaction   : {event.nack_reaction_ns / 1e3:6.1f} us")
@@ -53,15 +53,12 @@ def main() -> None:
     print()
 
     # 5. Go-back-N logic checker (§4).
-    fsm = check_gbn_compliance(result.trace, mtu=config.traffic.mtu)
-    print(f"Go-back-N FSM check: "
-          f"{'compliant' if fsm.compliant else 'VIOLATIONS'} "
-          f"({fsm.packets_checked} packets)")
+    gbn = get_analyzer("gbn").analyze(result.trace, ctx)
+    print(f"Go-back-N FSM check: [{gbn.outcome.value}] {gbn.detail}")
 
     # 6. Counter analyzer: NIC counters vs wire-derived expectations.
-    counters = check_counters(result)
-    print(f"counter check: {'consistent' if counters.consistent else 'BUGS'}"
-          f" ({counters.checked} counters)")
+    counters = get_analyzer("counters").analyze(result.trace, ctx)
+    print(f"counter check: [{counters.outcome.value}] {counters.detail}")
 
     # 7. Raw counters as an operator would see them (vendor names).
     req = result.requester_counters.vendor

@@ -9,7 +9,7 @@ only switch timestamps from the mirrored trace.
 Run:  python examples/retransmission_study.py
 """
 
-from repro.core.analyzers import analyze_retransmissions
+from repro.core.analyzers import AnalyzerContext, get_analyzer
 from repro.core.config import (
     DataPacketEvent,
     DumperPoolConfig,
@@ -38,8 +38,9 @@ def measure(nic: str, verb: str, drop_psn: int = 50, seed: int = 3):
     )
     result = run_test(config)
     assert result.integrity.ok, "incomplete capture - rerun"
-    event = analyze_retransmissions(result.trace)[0]
-    return event
+    analysis = get_analyzer("retransmission").analyze(
+        result.trace, AnalyzerContext.for_result(result))
+    return analysis.data[0]
 
 
 def fmt_us(ns) -> str:

@@ -15,8 +15,18 @@ Quick start::
     config = quick_config(nic="cx5", verb="write", drop_psn=5)
     result = run_test(config)
     print(result.summary())
+
+The stable programmatic surface lives in :mod:`repro.api` (also
+re-exported here): ``run_test``, ``run_suite``, ``run_fuzz_campaign``,
+``save_result``/``load_result`` and the analyzer registry.
 """
 
+from .api import (
+    load_result,
+    run_fuzz_campaign,
+    run_suite,
+    save_result,
+)
 from .core.config import (
     DataPacketEvent,
     HostConfig,
@@ -37,6 +47,10 @@ __all__ = [
     "TrafficConfig",
     "Orchestrator",
     "run_test",
+    "run_suite",
+    "run_fuzz_campaign",
+    "save_result",
+    "load_result",
     "TestResult",
     "quick_config",
     "__version__",

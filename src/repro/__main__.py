@@ -16,23 +16,35 @@ Commands:
 * ``lint``                — determinism & spawn-safety static analysis
   over the testbed sources (see :mod:`repro.lint`).
 
-``fuzz``, ``suite`` and ``sweep`` accept ``--workers N``: the campaign
-fans out over a spawn-safe process pool (``repro.exec``) and falls
-back to in-process serial execution if the pool dies. Results are
-byte-identical for any worker count — for ``fuzz`` the generation
-schedule is fixed by ``--batch``, not by ``--workers``.
+The campaign commands (``run``, ``fuzz``, ``suite``, ``sweep``,
+``incast``) share one flag vocabulary — ``--seed``, ``--workers``,
+``--telemetry``, ``--measurement-faults`` and ``--output`` mean the
+same thing, with the same defaults, everywhere they apply:
 
-``run``, ``fuzz``, ``suite`` and ``incast`` accept ``--telemetry DIR``:
-the run executes with telemetry enabled and writes a Chrome trace
-(``trace.json``), Prometheus metrics (``metrics.prom``) and span JSONL
-(``events.jsonl``) into DIR on completion.
+* ``--workers N`` fans the campaign out over a spawn-safe process pool
+  (``repro.exec``), falling back to in-process serial execution if the
+  pool dies. Results are byte-identical for any worker count — for
+  ``fuzz`` the generation schedule is fixed by ``--batch``, not by
+  ``--workers``. Single-run commands (``run``, ``incast``) ignore it.
+* ``--telemetry DIR`` executes with telemetry enabled and writes a
+  Chrome trace (``trace.json``), Prometheus metrics (``metrics.prom``)
+  and span JSONL (``events.jsonl``) into DIR on completion.
+* ``--measurement-faults SCENARIO`` stresses the measurement plane
+  (mirror links, dumper rings) with a named deterministic fault
+  scenario (see :mod:`repro.faults.scenarios`); the §3.5 integrity
+  check / retry machinery has to cope, and suite checks whose evidence
+  window overlaps a capture gap report INCONCLUSIVE instead of a false
+  verdict. (``incast`` builds its own testbed and rejects the flag.)
+* ``--output FILE`` writes the command's report to FILE instead of
+  only stdout. Campaign reports written this way are deterministic —
+  no wall-clock content — so resumed and uninterrupted campaigns
+  produce byte-identical files.
 
-``run`` and ``suite`` accept ``--measurement-faults SCENARIO``: the
-measurement plane (mirror links, dumper rings) is stressed with a named
-deterministic fault scenario (see :mod:`repro.faults.scenarios`), and
-the §3.5 integrity check / retry machinery has to cope. Checks whose
-evidence window overlaps a capture gap report INCONCLUSIVE instead of
-a false verdict.
+``run``, ``fuzz``, ``suite`` and ``sweep`` additionally accept
+``--campaign DIR``: results are content-addressed in ``DIR/store`` and
+replayed instead of re-simulated on a later invocation (``fuzz`` also
+journals per-generation state in ``DIR/journal.jsonl``, so a killed
+campaign resumes exactly where it stopped — see ``repro.store``).
 """
 
 from __future__ import annotations
@@ -41,13 +53,16 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .core.config import TestConfig
 from .core.fuzz import LuminaFuzzer
 from .core.orchestrator import run_test
 from .core.report import render_report
 from .rdma.profiles import PROFILES
+
+#: Historical per-command seed defaults, applied when --seed is omitted.
+_INCAST_DEFAULT_SEED = 55
 
 _EXAMPLE_CONFIG = {
     "requester": {
@@ -90,69 +105,133 @@ def _load_config(path: str, seed: Optional[int] = None) -> TestConfig:
     return TestConfig.from_dict(data)
 
 
+def _campaign_store(args: argparse.Namespace):
+    """The --campaign store for this invocation, or None."""
+    campaign = getattr(args, "campaign", None)
+    if not campaign:
+        return None
+    from .store import CampaignStore
+
+    return CampaignStore(os.path.join(campaign, "store"))
+
+
+def _emit_report(report: str, output: Optional[str]) -> None:
+    """Print a report and, with --output, persist it byte-for-byte."""
+    print(report, end="" if report.endswith("\n") else "\n")
+    if output:
+        with open(output, "w") as handle:
+            handle.write(report)
+        print(f"report written to {output}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _load_config(args.config, args.seed)
     if args.measurement_faults:
         from .faults import get_scenario
 
         config = get_scenario(args.measurement_faults).apply(config)
-    result = run_test(config)
-    report = render_report(result)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(report)
-        print(f"report written to {args.output}")
-    else:
-        print(report, end="")
+    store = _campaign_store(args)
+    result = run_test(config, store=store)
+    _emit_report(render_report(result), args.output)
+    if store is not None:
+        print(store.stats())
     return 0 if result.ok else 1
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    scenario = None
+    if args.measurement_faults:
+        from .faults import get_scenario
+
+        scenario = get_scenario(args.measurement_faults)
     if args.target:
         from .core.fuzz import make_fuzzer
 
         fuzzer, target = make_fuzzer(args.target, args.nic,
                                      seed=args.seed or 1)
+        if scenario is not None:
+            # Fault scenarios touch only the measurement-plane fields,
+            # never the traffic shape the preset pool was seeded from.
+            fuzzer.base_config = scenario.apply(fuzzer.base_config)
         print(f"target: {target.name} — {target.description} (nic={args.nic})")
     else:
         if not args.config:
             print("error: provide a config file or --target", file=sys.stderr)
             return 2
         config = _load_config(args.config, args.seed)
+        if scenario is not None:
+            config = scenario.apply(config)
         fuzzer = LuminaFuzzer(config, seed=args.seed or config.seed,
                               anomaly_threshold=args.threshold)
+    store = _campaign_store(args)
     report = fuzzer.run(iterations=args.iterations,
                         stop_on_first=args.stop_on_first,
-                        workers=args.workers, batch_size=args.batch)
-    print(f"iterations: {report.iterations_run}  "
-          f"findings: {len(report.findings)}  "
-          f"invalid: {report.invalid_runs}")
-    for finding in report.findings:
-        print(" ", finding.summary())
+                        workers=args.workers, batch_size=args.batch,
+                        store=store, campaign_dir=args.campaign)
+    lines = [f"iterations: {report.iterations_run}  "
+             f"findings: {len(report.findings)}  "
+             f"invalid: {report.invalid_runs}"]
+    lines.extend("  " + finding.summary() for finding in report.findings)
+    _emit_report("\n".join(lines) + "\n", args.output)
+    if store is not None:
+        print(store.stats())
     return 0 if report.found_anomaly else 2
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
     from .core.suite import run_conformance_suite
 
+    store = _campaign_store(args)
     card = run_conformance_suite(args.nic, seed=args.seed,
                                  checks=args.checks or None,
                                  workers=args.workers,
-                                 faults=args.measurement_faults or None)
-    print(card.render())
+                                 faults=args.measurement_faults or None,
+                                 store=store)
+    _emit_report(card.render(), args.output)
+    if store is not None:
+        print(store.stats())
     return 0 if card.all_passed else 1
+
+
+def _sweep_report(cells: List[Tuple[str, int]],
+                  outcomes: List) -> Tuple[str, int]:
+    """(deterministic report text, failure count) for a finished grid."""
+    lines = [f"{'nic':<6s}{'seed':>6s}{'ok':>5s}{'mct_us':>10s}"
+             f"{'retrans':>9s}{'timeouts':>10s}{'sim_ms':>9s}",
+             "-" * 55]
+    failures = 0
+    for (nic, seed), outcome in zip(cells, outcomes):
+        if not outcome.ok:
+            failures += 1
+            lines.append(f"{nic:<6s}{seed:>6d}  ERR  {outcome.error}")
+            continue
+        s = outcome.value
+        if not s["ok"]:
+            failures += 1
+        lines.append(f"{nic:<6s}{seed:>6d}{'yes' if s['ok'] else 'NO':>5s}"
+                     f"{s['avg_mct_us']:>10.1f}{s['retransmitted']:>9d}"
+                     f"{s['timeouts']:>10d}{s['duration_ns'] / 1e6:>9.2f}")
+    lines.append("-" * 55)
+    lines.append(f"{len(cells)} runs, {failures} failure(s)")
+    return "\n".join(lines) + "\n", failures
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     import time
     from dataclasses import replace
 
+    scenario = None
+    if args.measurement_faults:
+        from .faults import get_scenario
+
+        scenario = get_scenario(args.measurement_faults)
+    base_seed = args.seed if args.seed is not None else args.base_seed
     nics = [n.strip() for n in args.nics.split(",") if n.strip()]
     configs = []
     cells = []
     for nic in nics:
         for offset in range(args.seeds):
-            seed = args.base_seed + offset
+            seed = base_seed + offset
             if args.config:
                 base = _load_config(args.config, seed)
                 config = replace(
@@ -167,59 +246,84 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                       num_connections=args.connections,
                                       num_msgs=args.messages,
                                       message_size=args.size, seed=seed)
+            if scenario is not None:
+                config = scenario.apply(config)
             configs.append(config)
             cells.append((nic, seed))
 
-    from .exec import ParallelRunner
+    from .exec import ParallelRunner, TaskOutcome
     from .exec.tasks import run_summary_task
 
+    store = _campaign_store(args)
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(configs)
+    fps: List[Optional[str]] = [None] * len(configs)
+    pending = list(range(len(configs)))
+    if store is not None:
+        from .store.fingerprint import config_fingerprint
+
+        pending = []
+        for i, config in enumerate(configs):
+            fps[i] = config_fingerprint(config, kind="summary")
+            cached = store.get(fps[i])
+            if cached is not None:
+                outcomes[i] = TaskOutcome(index=i, ok=True, value=cached,
+                                          cached=True)
+            else:
+                pending.append(i)
+
     started = time.perf_counter()
-    with ParallelRunner(run_summary_task, workers=args.workers,
-                        task_timeout_s=args.timeout) as runner:
-        outcomes = runner.map([{"config": c} for c in configs])
+    crashes = 0
+    if pending:
+        with ParallelRunner(run_summary_task, workers=args.workers,
+                            task_timeout_s=args.timeout) as runner:
+            fresh = runner.map([{"config": configs[i]} for i in pending])
+        crashes = runner.stats.worker_crashes
+        for i, outcome in zip(pending, fresh):
+            outcomes[i] = TaskOutcome(index=i, ok=outcome.ok,
+                                      value=outcome.value,
+                                      error=outcome.error,
+                                      attempts=outcome.attempts,
+                                      ran_in_process=outcome.ran_in_process)
+            if store is not None and outcome.ok:
+                store.put(fps[i], "summary", outcome.value)
     elapsed = time.perf_counter() - started
 
-    print(f"{'nic':<6s}{'seed':>6s}{'ok':>5s}{'mct_us':>10s}"
-          f"{'retrans':>9s}{'timeouts':>10s}{'sim_ms':>9s}")
-    print("-" * 55)
-    failures = 0
-    for (nic, seed), outcome in zip(cells, outcomes):
-        if not outcome.ok:
-            failures += 1
-            print(f"{nic:<6s}{seed:>6d}  ERR  {outcome.error}")
-            continue
-        s = outcome.value
-        if not s["ok"]:
-            failures += 1
-        print(f"{nic:<6s}{seed:>6d}{'yes' if s['ok'] else 'NO':>5s}"
-              f"{s['avg_mct_us']:>10.1f}{s['retransmitted']:>9d}"
-              f"{s['timeouts']:>10d}{s['duration_ns'] / 1e6:>9.2f}")
-    rate = len(configs) / elapsed if elapsed > 0 else 0.0
-    print("-" * 55)
-    print(f"{len(configs)} runs in {elapsed:.2f}s "
-          f"({rate:.2f} runs/s, workers={args.workers}, "
-          f"crashes={runner.stats.worker_crashes})")
+    report, failures = _sweep_report(cells, outcomes)
+    _emit_report(report, args.output)
+    rate = len(pending) / elapsed if elapsed > 0 else 0.0
+    print(f"{len(pending)} of {len(configs)} runs executed in {elapsed:.2f}s "
+          f"({rate:.2f} runs/s, workers={args.workers}, crashes={crashes})")
+    if store is not None:
+        print(store.stats())
     return 1 if failures else 0
 
 
 def cmd_incast(args: argparse.Namespace) -> int:
     from .core.incast import IncastConfig, run_incast
 
+    if args.measurement_faults:
+        print("error: incast builds its own fan-in testbed and does not "
+              "support --measurement-faults", file=sys.stderr)
+        return 2
+    seed = args.seed if args.seed is not None else _INCAST_DEFAULT_SEED
     result = run_incast(IncastConfig(
         num_senders=args.senders, nic_type=args.nic,
         num_msgs_per_sender=args.messages, message_size=args.size,
         ecn_threshold_kb=args.ecn_threshold_kb,
         receiver_queue_bytes=args.queue_kb * 1024 if args.queue_kb else None,
-        seed=args.seed,
+        seed=seed,
     ))
     drops = sum(p["tx_drops"] for p in result.switch_counters["ports"].values())
-    print(f"{args.senders} senders ({args.nic}) -> 1 receiver")
-    print(f"aggregate goodput: {result.aggregate_goodput_bps / 1e9:.1f} Gbps")
-    print(f"fairness (Jain):   {result.fairness:.2f}")
-    print(f"retransmitted:     {sum(result.per_sender_retransmits.values())}")
-    print(f"queue ECN marks:   {result.switch_counters['ecn_marked_by_queue']}")
-    print(f"switch drops:      {drops}")
-    print(f"capture integrity: {'PASS' if result.integrity.ok else 'FAIL'}")
+    lines = [
+        f"{args.senders} senders ({args.nic}) -> 1 receiver",
+        f"aggregate goodput: {result.aggregate_goodput_bps / 1e9:.1f} Gbps",
+        f"fairness (Jain):   {result.fairness:.2f}",
+        f"retransmitted:     {sum(result.per_sender_retransmits.values())}",
+        f"queue ECN marks:   {result.switch_counters['ecn_marked_by_queue']}",
+        f"switch drops:      {drops}",
+        f"capture integrity: {'PASS' if result.integrity.ok else 'FAIL'}",
+    ]
+    _emit_report("\n".join(lines) + "\n", args.output)
     return 0
 
 
@@ -267,28 +371,61 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _common_parser() -> argparse.ArgumentParser:
+    """The flag vocabulary every campaign command shares.
+
+    One definition means one help string and one default per flag —
+    ``suite``'s historical divergent ``--seed`` default (77 instead of
+    None) is resolved inside :func:`repro.core.suite.\
+    run_conformance_suite` (``None`` → ``DEFAULT_SUITE_SEED``), not by
+    a per-command argparse default.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("common options")
+    group.add_argument("--seed", type=int, default=None,
+                       help="override the RNG seed (default: the "
+                            "command's documented default)")
+    group.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for campaign commands "
+                            "(default: 1, in-process; single-run "
+                            "commands ignore it)")
+    group.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="collect runtime telemetry and export to DIR")
+    group.add_argument("--measurement-faults", metavar="SCENARIO",
+                       default=None, choices=_fault_scenario_names(),
+                       help="inject measurement-plane faults "
+                            "(capture stress test); one of: "
+                            + ", ".join(_fault_scenario_names()))
+    group.add_argument("--output", "-o", metavar="FILE", default=None,
+                       help="write the command's report to FILE "
+                            "(deterministic: no wall-clock content)")
+    return common
+
+
+def _add_campaign_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--campaign", metavar="DIR", default=None,
+                        help="content-addressed campaign directory: "
+                             "cache results in DIR/store and replay "
+                             "them on repeat invocations")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Lumina (SIGCOMM 2023) reproduction: test hardware "
                     "network stack models in simulation.",
     )
+    common = _common_parser()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run one test from a JSON config")
+    run_p = sub.add_parser("run", parents=[common],
+                           help="run one test from a JSON config")
     run_p.add_argument("config")
-    run_p.add_argument("--seed", type=int, default=None)
-    run_p.add_argument("--output", "-o", help="write the report to a file")
-    run_p.add_argument("--telemetry", metavar="DIR", default=None,
-                       help="collect runtime telemetry and export to DIR")
-    run_p.add_argument("--measurement-faults", metavar="SCENARIO",
-                       default=None, choices=_fault_scenario_names(),
-                       help="inject measurement-plane faults "
-                            "(capture stress test); one of: "
-                            + ", ".join(_fault_scenario_names()))
+    _add_campaign_flag(run_p)
     run_p.set_defaults(func=cmd_run)
 
-    fuzz_p = sub.add_parser("fuzz", help="fuzz around a base config")
+    fuzz_p = sub.add_parser("fuzz", parents=[common],
+                            help="fuzz around a base config")
     fuzz_p.add_argument("config", nargs="?",
                         help="JSON base config (omit when using --target)")
     fuzz_p.add_argument("--target",
@@ -297,60 +434,46 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--nic", default="cx5",
                         help="NIC model for --target runs")
     fuzz_p.add_argument("--iterations", "-n", type=int, default=20)
-    fuzz_p.add_argument("--seed", type=int, default=None)
     fuzz_p.add_argument("--threshold", type=float, default=3.0)
     fuzz_p.add_argument("--stop-on-first", action="store_true")
-    fuzz_p.add_argument("--workers", type=int, default=1,
-                        help="process-pool size for scoring candidates "
-                             "(default: 1, in-process)")
     fuzz_p.add_argument("--batch", type=int, default=4,
                         help="candidates generated per pool snapshot; "
                              "fixes the schedule independently of "
                              "--workers (default: 4)")
-    fuzz_p.add_argument("--telemetry", metavar="DIR", default=None,
-                        help="collect runtime telemetry and export to DIR")
+    _add_campaign_flag(fuzz_p)
     fuzz_p.set_defaults(func=cmd_fuzz)
 
     suite_p = sub.add_parser(
-        "suite", help="run the conformance battery against a NIC model")
+        "suite", parents=[common],
+        help="run the conformance battery against a NIC model")
     suite_p.add_argument("nic")
-    suite_p.add_argument("--seed", type=int, default=77)
     suite_p.add_argument("--checks", nargs="*",
                          help="subset of checks to run (default: all)")
-    suite_p.add_argument("--workers", type=int, default=1,
-                         help="process-pool size for running checks")
-    suite_p.add_argument("--telemetry", metavar="DIR", default=None,
-                         help="collect runtime telemetry and export to DIR")
-    suite_p.add_argument("--measurement-faults", metavar="SCENARIO",
-                         default=None, choices=_fault_scenario_names(),
-                         help="run every check under injected capture "
-                              "faults; one of: "
-                              + ", ".join(_fault_scenario_names()))
+    _add_campaign_flag(suite_p)
     suite_p.set_defaults(func=cmd_suite)
 
     sweep_p = sub.add_parser(
-        "sweep", help="benchmark sweep: one workload across NICs x seeds")
+        "sweep", parents=[common],
+        help="benchmark sweep: one workload across NICs x seeds")
     sweep_p.add_argument("config", nargs="?",
                          help="JSON base config (default: built-in workload)")
     sweep_p.add_argument("--nics", default="cx4,cx5,cx6,e810",
                          help="comma-separated NIC models")
     sweep_p.add_argument("--seeds", type=int, default=1,
                          help="seeds per NIC (base-seed, base-seed+1, ...)")
-    sweep_p.add_argument("--base-seed", type=int, default=1)
+    sweep_p.add_argument("--base-seed", type=int, default=1,
+                         help="first seed of the grid (--seed overrides)")
     sweep_p.add_argument("--verb", default="write",
                          help="verb for the built-in workload")
     sweep_p.add_argument("--connections", type=int, default=2)
     sweep_p.add_argument("--messages", type=int, default=4)
     sweep_p.add_argument("--size", type=int, default=20480)
-    sweep_p.add_argument("--workers", type=int, default=1,
-                         help="process-pool size for the sweep")
     sweep_p.add_argument("--timeout", type=float, default=None,
                          help="per-run timeout in seconds")
-    sweep_p.add_argument("--telemetry", metavar="DIR", default=None,
-                         help="collect runtime telemetry and export to DIR")
+    _add_campaign_flag(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
-    incast_p = sub.add_parser("incast",
+    incast_p = sub.add_parser("incast", parents=[common],
                               help="run an N-to-1 incast workload")
     incast_p.add_argument("--senders", type=int, default=4)
     incast_p.add_argument("--nic", default="cx6")
@@ -359,9 +482,6 @@ def build_parser() -> argparse.ArgumentParser:
     incast_p.add_argument("--ecn-threshold-kb", type=int, default=None)
     incast_p.add_argument("--queue-kb", type=int, default=None,
                           help="bottleneck buffer (default: deep)")
-    incast_p.add_argument("--seed", type=int, default=55)
-    incast_p.add_argument("--telemetry", metavar="DIR", default=None,
-                          help="collect runtime telemetry and export to DIR")
     incast_p.set_defaults(func=cmd_incast)
 
     nics_p = sub.add_parser("nics", help="list NIC behaviour profiles")

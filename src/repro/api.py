@@ -1,0 +1,128 @@
+"""The stable programmatic facade: ``import repro.api`` (or just
+``repro``) and stop caring where things live.
+
+The internal layout (``core.orchestrator``, ``core.suite``,
+``core.fuzz``, ``store.serialize``, …) moves as the testbed grows; the
+handful of names here does not. Everything a script, notebook or
+downstream harness needs:
+
+* :func:`run_test` — one deterministic end-to-end test run, optionally
+  replayed from a campaign store;
+* :func:`run_suite` — the conformance battery for one NIC model;
+* :func:`run_fuzz_campaign` — Algorithm-1 fuzzing around a base
+  config, resumable via ``campaign_dir``;
+* :func:`save_result` / :func:`load_result` — lossless TestResult
+  round-trip as standalone JSON;
+* :func:`iter_analyzers` / :func:`get_analyzer` — the registered trace
+  analyzers behind the uniform Analyzer protocol.
+
+Heavy subsystems import lazily inside each function, so ``import
+repro.api`` stays cheap (CLI startup, spawn workers).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Union
+
+if TYPE_CHECKING:
+    from .core.analyzers.base import Analyzer
+    from .core.config import TestConfig
+    from .core.fuzz.fuzzer import FuzzReport
+    from .core.results import TestResult
+    from .core.suite import Scorecard
+    from .store.index import CampaignStore
+
+__all__ = ["run_test", "run_suite", "run_fuzz_campaign",
+           "save_result", "load_result",
+           "get_analyzer", "iter_analyzers", "quick_config"]
+
+
+def run_test(config: "TestConfig",
+             store: Optional["CampaignStore"] = None) -> "TestResult":
+    """Run one test end to end (build, simulate, collect, §3.5 retry).
+
+    With a ``store``, a previously-run identical config is replayed
+    from disk — full trace included — instead of simulated again.
+    """
+    from .core.orchestrator import run_test as _run_test
+
+    return _run_test(config, store=store)
+
+
+def run_suite(nic: str, seed: Optional[int] = None,
+              checks: Optional[List[str]] = None, workers: int = 1,
+              faults: Optional[str] = None,
+              store: Optional["CampaignStore"] = None) -> "Scorecard":
+    """Run the conformance battery (or a subset) against one NIC model.
+
+    ``seed=None`` means the battery's canonical seed
+    (:data:`repro.core.suite.DEFAULT_SUITE_SEED`).
+    """
+    from .core.suite import run_conformance_suite
+
+    return run_conformance_suite(nic, seed=seed, checks=checks,
+                                 workers=workers, faults=faults, store=store)
+
+
+def run_fuzz_campaign(base_config: "TestConfig", iterations: int = 20,
+                      seed: int = 1, workers: int = 1, batch_size: int = 4,
+                      anomaly_threshold: float = 3.0,
+                      stop_on_first: bool = False,
+                      campaign_dir: Optional[str] = None,
+                      store: Optional["CampaignStore"] = None,
+                      ) -> "FuzzReport":
+    """Fuzz around a base config (Algorithm 1) and return the report.
+
+    ``campaign_dir`` makes the campaign persistent and resumable: runs
+    are cached in ``<dir>/store`` and per-generation state journaled in
+    ``<dir>/journal.jsonl``, so re-invoking after an interruption
+    continues exactly where it stopped and yields a byte-identical
+    final report.
+    """
+    from .core.fuzz import LuminaFuzzer
+
+    fuzzer = LuminaFuzzer(base_config, seed=seed,
+                          anomaly_threshold=anomaly_threshold)
+    return fuzzer.run(iterations=iterations, stop_on_first=stop_on_first,
+                      workers=workers, batch_size=batch_size,
+                      store=store, campaign_dir=campaign_dir)
+
+
+def save_result(result: "TestResult", path: str) -> str:
+    """Write one TestResult as standalone JSON; returns ``path``."""
+    from .store.serialize import save_result_file
+
+    return save_result_file(result, path)
+
+
+def load_result(path: str) -> "TestResult":
+    """Load a :func:`save_result` file back into a full TestResult.
+
+    The round-trip is lossless: config, metadata, reconstructed trace,
+    integrity report, counters, traffic log and retry attempts all
+    compare equal to the original.
+    """
+    from .store.serialize import load_result_file
+
+    return load_result_file(path)
+
+
+def get_analyzer(name: str) -> "Analyzer":
+    """Look up one registered trace analyzer by name."""
+    from .core.analyzers.registry import get_analyzer as _get
+
+    return _get(name)
+
+
+def iter_analyzers():
+    """Iterate the registered analyzers in stable name order."""
+    from .core.analyzers.registry import iter_analyzers as _iter
+
+    return _iter()
+
+
+def quick_config(**kwargs) -> "TestConfig":
+    """Alias of :func:`repro.quick_config` so the facade is complete."""
+    from . import quick_config as _quick_config
+
+    return _quick_config(**kwargs)

@@ -1,5 +1,26 @@
-"""Built-in analyzers of the Lumina test suite (§4)."""
+"""Built-in analyzers of the Lumina test suite (§4).
 
+Two tiers live here:
+
+* the **analyzer protocol** (:mod:`.base`, :mod:`.registry`) — every
+  analyzer is ``name`` + ``analyze(trace, ctx) -> AnalyzerResult``
+  with a uniform trichotomous outcome, flat violation list and
+  evidence window; look analyzers up with :func:`get_analyzer` or walk
+  them with :func:`iter_analyzers`;
+* the **legacy free functions** (``analyze_cnps``,
+  ``check_gbn_compliance``, ``check_counters``,
+  ``analyze_retransmissions``) — deprecated thin wrappers kept for
+  back-compatibility; each one's rich report is now carried on the
+  corresponding ``AnalyzerResult.data``.
+"""
+
+from .base import (
+    Analyzer,
+    AnalyzerContext,
+    AnalyzerResult,
+    Outcome,
+    trace_window,
+)
 from .cnp import (
     CnpReport,
     analyze_cnps,
@@ -21,9 +42,24 @@ from .latency import (
     stream_rate_bps,
     summarize,
 )
+from .registry import (
+    analyzer_names,
+    get_analyzer,
+    iter_analyzers,
+    register,
+)
 from .retrans_perf import RetransmissionEvent, analyze_retransmissions
 
 __all__ = [
+    "Analyzer",
+    "AnalyzerContext",
+    "AnalyzerResult",
+    "Outcome",
+    "trace_window",
+    "register",
+    "get_analyzer",
+    "iter_analyzers",
+    "analyzer_names",
     "CnpReport",
     "analyze_cnps",
     "infer_rate_limit_scope",

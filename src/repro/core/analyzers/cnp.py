@@ -14,6 +14,7 @@ Validates DCQCN notification-point behaviour from the packet trace:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -48,6 +49,20 @@ class CnpReport:
 
 
 def analyze_cnps(trace: PacketTrace) -> CnpReport:
+    """Deprecated entry point — use the ``cnp`` analyzer instead.
+
+    ``get_analyzer("cnp").analyze(trace, ctx)`` returns the uniform
+    :class:`~repro.core.analyzers.base.AnalyzerResult`; this report
+    object rides on its ``data`` attribute.
+    """
+    warnings.warn(
+        "analyze_cnps() is deprecated; use repro.core.analyzers."
+        "get_analyzer('cnp').analyze(trace, ctx) — the CnpReport is on "
+        "the result's .data", DeprecationWarning, stacklevel=2)
+    return _analyze_cnps(trace)
+
+
+def _analyze_cnps(trace: PacketTrace) -> CnpReport:
     """Extract CNP streams and validate them against the marks seen."""
     report = CnpReport(conclusive=not trace.has_gaps)
     marked_times: Dict[Tuple[int, int], List[int]] = {}
@@ -76,7 +91,7 @@ def min_cnp_interval_ns(trace: PacketTrace, per_np_ip: bool = True) -> Optional[
     Marking *every* data packet with ECN and measuring this floor is
     exactly how the paper discovered E810's hidden ~50 µs interval.
     """
-    report = analyze_cnps(trace)
+    report = _analyze_cnps(trace)
     by_np: Dict[int, List[int]] = {}
     for (np_ip, _rp_ip, _qp), times in report.streams.items():
         key = np_ip if per_np_ip else 0
@@ -106,7 +121,7 @@ def infer_rate_limit_scope(trace: PacketTrace,
     it each IP is assumed to be its own port, and per-IP limiting is
     indistinguishable from per-port).
     """
-    report = analyze_cnps(trace)
+    report = _analyze_cnps(trace)
     floor = interval_ns * (1.0 - tolerance)
     port_of = ip_to_port or {}
 

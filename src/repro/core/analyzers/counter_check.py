@@ -13,6 +13,7 @@ against real hardware.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -121,6 +122,22 @@ _EXACT = ("cnp_sent", "cnp_handled", "ecn_marked_packets", "nak_sent",
 
 
 def check_counters(result: TestResult) -> CounterReport:
+    """Deprecated entry point — use the ``counters`` analyzer instead.
+
+    ``get_analyzer("counters").analyze(result.trace, AnalyzerContext.
+    for_result(result))`` returns the uniform
+    :class:`~repro.core.analyzers.base.AnalyzerResult`; this report
+    object rides on its ``data`` attribute.
+    """
+    warnings.warn(
+        "check_counters() is deprecated; use repro.core.analyzers."
+        "get_analyzer('counters').analyze(result.trace, ctx) — the "
+        "CounterReport is on the result's .data",
+        DeprecationWarning, stacklevel=2)
+    return _check_counters(result)
+
+
+def _check_counters(result: TestResult) -> CounterReport:
     """Diff reported NIC counters against trace-derived expectations.
 
     A gapped trace cannot ground-truth any counter — every expectation

@@ -25,6 +25,7 @@ Checked properties (per directed data stream):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
@@ -127,6 +128,21 @@ def _control_events_for(trace: PacketTrace, conn_key: Tuple[int, int, int],
 
 
 def check_gbn_compliance(trace: PacketTrace, mtu: int = 1024) -> FsmReport:
+    """Deprecated entry point — use the ``gbn`` analyzer instead.
+
+    ``get_analyzer("gbn").analyze(trace, ctx)`` returns the uniform
+    :class:`~repro.core.analyzers.base.AnalyzerResult` (``ctx.mtu``
+    replaces the ``mtu`` argument); this report object rides on its
+    ``data`` attribute.
+    """
+    warnings.warn(
+        "check_gbn_compliance() is deprecated; use repro.core.analyzers."
+        "get_analyzer('gbn').analyze(trace, ctx) — the FsmReport is on "
+        "the result's .data", DeprecationWarning, stacklevel=2)
+    return _check_gbn_compliance(trace, mtu=mtu)
+
+
+def _check_gbn_compliance(trace: PacketTrace, mtu: int = 1024) -> FsmReport:
     """Replay the trace through the Go-back-N receiver FSM.
 
     ``mtu`` is the RDMA path MTU of the test (needed to size Read

@@ -66,6 +66,16 @@ class RoceParameters:
             slow_restart=bool(data.get("slow-restart", True)),
         )
 
+    def to_dict(self) -> Dict:
+        """Inverse of :meth:`from_dict` (round-trips exactly)."""
+        return {
+            "dcqcn-rp-enable": self.dcqcn_rp_enable,
+            "dcqcn-np-enable": self.dcqcn_np_enable,
+            "min-time-between-cnps": self.min_time_between_cnps_us,
+            "adaptive-retrans": self.adaptive_retrans,
+            "slow-restart": self.slow_restart,
+        }
+
 
 @dataclass(frozen=True)
 class HostConfig:
@@ -95,6 +105,17 @@ class HostConfig:
             bandwidth_gbps=nic.get("bandwidth-gbps"),
             roce=RoceParameters.from_dict(data.get("roce-parameters", {})),
         )
+
+    def to_dict(self) -> Dict:
+        """Inverse of :meth:`from_dict` (round-trips exactly)."""
+        return {
+            "nic": {
+                "type": self.nic_type,
+                "ip-list": list(self.ip_list),
+                "bandwidth-gbps": self.bandwidth_gbps,
+            },
+            "roce-parameters": self.roce.to_dict(),
+        }
 
 
 @dataclass(frozen=True)
@@ -136,6 +157,11 @@ class DataPacketEvent:
                    type=str(data["type"]), iter=int(data.get("iter", 1)),
                    delay_us=float(data.get("delay-us", 0.0)))
 
+    def to_dict(self) -> Dict:
+        """Inverse of :meth:`from_dict` (round-trips exactly)."""
+        return {"qpn": self.qpn, "psn": self.psn, "type": self.type,
+                "iter": self.iter, "delay-us": self.delay_us}
+
 
 @dataclass(frozen=True)
 class PeriodicIntent:
@@ -166,6 +192,11 @@ class PeriodicIntent:
         return cls(qpn=int(data["qpn"]), period=int(data["period"]),
                    start=int(data.get("start", 1)),
                    type=str(data.get("type", "ecn")))
+
+    def to_dict(self) -> Dict:
+        """Inverse of :meth:`from_dict` (round-trips exactly)."""
+        return {"qpn": self.qpn, "period": self.period,
+                "start": self.start, "type": self.type}
 
 
 def PeriodicEcnIntent(qpn: int, period: int, start: int = 1) -> PeriodicIntent:
@@ -295,6 +326,34 @@ class TrafficConfig:
             ets=ets,
         )
 
+    def to_dict(self) -> Dict:
+        """Inverse of :meth:`from_dict` (round-trips exactly)."""
+        data: Dict = {
+            "num-connections": self.num_connections,
+            "rdma-verb": self.rdma_verb,
+            "num-msgs-per-qp": self.num_msgs_per_qp,
+            "mtu": self.mtu,
+            "message-size": self.message_size,
+            "multi-gid": self.multi_gid,
+            "barrier-sync": self.barrier_sync,
+            "tx-depth": self.tx_depth,
+            "min-retransmit-timeout": self.min_retransmit_timeout,
+            "max-retransmit-retry": self.max_retransmit_retry,
+            "data-pkt-events": [e.to_dict() for e in self.data_pkt_events],
+            "periodic-events": [e.to_dict() for e in self.periodic_events],
+        }
+        if self.ets is not None:
+            data["ets"] = {
+                "queues": [
+                    {"index": q.index, "weight": q.weight_percent,
+                     "strict": q.strict_priority}
+                    for q in self.ets.queues
+                ],
+                "qp-to-queue": {str(k): v
+                                for k, v in self.ets.qp_to_queue.items()},
+            }
+        return data
+
 
 @dataclass(frozen=True)
 class DumperPoolConfig:
@@ -309,6 +368,16 @@ class DumperPoolConfig:
     def __post_init__(self) -> None:
         if self.num_servers < 0:
             raise ConfigError("dumper pool size cannot be negative")
+
+    def to_dict(self) -> Dict:
+        """Dict shape of :meth:`TestConfig.from_dict`'s ``dumpers`` block."""
+        return {
+            "num-servers": self.num_servers,
+            "cores-per-server": self.cores_per_server,
+            "core-service-ns": self.core_service_ns,
+            "ring-slots": self.ring_slots,
+            "bandwidth-gbps": self.bandwidth_gbps,
+        }
 
 
 @dataclass(frozen=True)
@@ -384,6 +453,18 @@ class MeasurementFaultConfig:
             heal_after_attempt=data.get("heal-after-attempt"),
         )
 
+    def to_dict(self) -> Dict:
+        """Inverse of :meth:`from_dict` (round-trips exactly)."""
+        return {
+            "mirror-loss-period": self.mirror_loss_period,
+            "mirror-loss-rate": self.mirror_loss_rate,
+            "mirror-loss-burst": self.mirror_loss_burst,
+            "mirror-delay-ns": self.mirror_delay_ns,
+            "mirror-delay-period": self.mirror_delay_period,
+            "ring-slots": self.ring_slots,
+            "heal-after-attempt": self.heal_after_attempt,
+        }
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -419,6 +500,14 @@ class RetryPolicy:
             backoff_multiplier=float(data.get("backoff-multiplier", 2.0)),
         )
 
+    def to_dict(self) -> Dict:
+        """Inverse of :meth:`from_dict` (round-trips exactly)."""
+        return {
+            "max-attempts": self.max_attempts,
+            "backoff-ns": self.backoff_ns,
+            "backoff-multiplier": self.backoff_multiplier,
+        }
+
 
 @dataclass(frozen=True)
 class SwitchConfig:
@@ -431,6 +520,16 @@ class SwitchConfig:
     #: RED-style organic ECN marking above this egress-queue depth (KB);
     #: None leaves only injected (deterministic) marks, as in the paper.
     ecn_threshold_kb: Optional[int] = None
+
+    def to_dict(self) -> Dict:
+        """Dict shape of :meth:`TestConfig.from_dict`'s ``switch`` block."""
+        return {
+            "event-injection": self.event_injection,
+            "mirroring": self.mirroring,
+            "randomize-udp-port": self.randomize_mirror_udp_port,
+            "link-delay-ns": self.link_delay_ns,
+            "ecn-threshold-kb": self.ecn_threshold_kb,
+        }
 
 
 @dataclass(frozen=True)
@@ -489,3 +588,24 @@ class TestConfig:
             retry=RetryPolicy.from_dict(data.get("retry", {})),
             drain_deadline_ns=int(data.get("drain-deadline-ns", 50_000_000)),
         )
+
+    def to_dict(self) -> Dict:
+        """Inverse of :meth:`from_dict`: ``TestConfig.from_dict(c.to_dict()) == c``.
+
+        The emitted dict is JSON-serialisable and is the canonical shape
+        the campaign store fingerprints (:mod:`repro.store.fingerprint`).
+        """
+        data: Dict = {
+            "requester": self.requester.to_dict(),
+            "responder": self.responder.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "dumpers": self.dumpers.to_dict(),
+            "switch": self.switch.to_dict(),
+            "seed": self.seed,
+            "max-duration-ns": self.max_duration_ns,
+            "retry": self.retry.to_dict(),
+            "drain-deadline-ns": self.drain_deadline_ns,
+        }
+        if self.measurement_faults is not None:
+            data["measurement-faults"] = self.measurement_faults.to_dict()
+        return data

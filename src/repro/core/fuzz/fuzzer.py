@@ -23,12 +23,14 @@ consumption lives in the sequential phases, so for a fixed
 
 from __future__ import annotations
 
+import os
 from bisect import insort
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
-if TYPE_CHECKING:  # avoid a runtime core -> exec import cycle
+if TYPE_CHECKING:  # avoid a runtime core -> exec/store import cycle
     from ...exec.runner import ParallelRunner
+    from ...store.index import CampaignStore
 
 from ...sim.rng import SimRandom
 from ...telemetry import runtime as telemetry
@@ -85,6 +87,7 @@ class LuminaFuzzer:
                  initial_pool: Optional[List[TrafficConfig]] = None,
                  run_fn: Callable[[TestConfig], TestResult] = run_test):
         self.base_config = base_config
+        self.seed = seed
         self.rng = SimRandom(seed, "fuzzer")
         self.weights = weights
         self.keep_probability = keep_probability
@@ -127,6 +130,48 @@ class LuminaFuzzer:
         insort(self._pool_scores, total)
 
     # ------------------------------------------------------------------
+    # Campaign checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Everything a later process needs to continue this fuzzer.
+
+        Restoring this state with :meth:`load_state` reproduces the
+        remaining iterations exactly — RNG stream position, the
+        per-iteration seed counter, the evolved pool and its sorted
+        score list are the only mutable state the loop reads.
+        """
+        return {
+            "rng": self.rng.getstate(),
+            "next-seed": self._next_seed,
+            "pool": [t.to_dict() for t in self.pool],
+            "pool-scores": list(self._pool_scores),
+        }
+
+    def load_state(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint (journal resume)."""
+        self.rng.setstate(state["rng"])
+        self._next_seed = state["next-seed"]
+        self.pool = [TrafficConfig.from_dict(t) for t in state["pool"]]
+        self._pool_scores = list(state["pool-scores"])
+
+    def _campaign_fingerprint(self, batch_size: int) -> str:
+        """Address of this campaign: base config + every fuzzing knob.
+
+        ``iterations`` is deliberately excluded — a finished campaign
+        may be resumed with a larger budget and simply continues.
+        """
+        from ...store.fingerprint import config_fingerprint
+
+        return config_fingerprint(self.base_config, kind="fuzz-campaign", extra={
+            "fuzzer-seed": self.seed,
+            "weights": self.weights,
+            "keep-probability": self.keep_probability,
+            "anomaly-threshold": self.anomaly_threshold,
+            "batch-size": batch_size,
+            "initial-pool": [t.to_dict() for t in self.pool],
+        })
+
+    # ------------------------------------------------------------------
     # Batch phases
     # ------------------------------------------------------------------
     def _generate_batch(self, k: int) -> List[Tuple[TrafficConfig, TestConfig]]:
@@ -145,43 +190,77 @@ class LuminaFuzzer:
         return batch
 
     def _score_batch(self, batch: Sequence[Tuple[TrafficConfig, TestConfig]],
-                     runner, first_iteration: int) -> List[Optional[Score]]:
+                     runner, first_iteration: int,
+                     store: Optional["CampaignStore"] = None,
+                     ) -> List[Optional[Score]]:
         """Step 3, batched: run + score every candidate.
 
-        With a runner, candidates execute in pool workers which ship
-        back only the compact :class:`Score` (never the trace). A
-        candidate whose execution fails outright maps to ``None`` and
-        is later counted as an invalid run.
+        With a ``store``, each candidate's fingerprint is probed first
+        and cached scores are replayed without touching the testbed;
+        only the misses are executed (and written back). With a runner,
+        misses execute in pool workers which ship back only the compact
+        :class:`Score` (never the trace). A candidate whose execution
+        fails outright maps to ``None`` and is later counted as an
+        invalid run.
         """
         tel = telemetry.current()
+        scores: List[Optional[Score]] = [None] * len(batch)
+        pending = list(range(len(batch)))
+        fps: List[Optional[str]] = [None] * len(batch)
+        if store is not None:
+            from ...store.fingerprint import config_fingerprint
+            from ...store.serialize import decode_score
+
+            pending = []
+            for i, (_, config) in enumerate(batch):
+                fps[i] = config_fingerprint(
+                    config, kind="score", extra={"weights": self.weights})
+                cached = store.get(fps[i])
+                if cached is not None:
+                    scores[i] = decode_score(cached)
+                else:
+                    pending.append(i)
         if runner is not None:
-            with tel.wall_span("fuzz.batch", pid="fuzzer", category="fuzz",
-                               first_iteration=first_iteration,
-                               size=len(batch)) as span:
-                outcomes = runner.map([
-                    {"config": config, "weights": self.weights}
-                    for _, config in batch
-                ])
-                scores = [o.value if o.ok else None for o in outcomes]
-                span.set(failed=sum(1 for s in scores if s is None))
-            return scores
-        scores = []
-        for offset, (_, config) in enumerate(batch):
-            # Each iteration spawns an independent sim starting at t=0,
-            # so the generation span lives on the wall-clock lane.
-            with tel.wall_span("fuzz.generation", pid="fuzzer",
-                               category="fuzz",
-                               iteration=first_iteration + offset) as span:
-                result = self._run(config)
-                score = score_result(result, self.weights)
-                span.set(score=round(score.total, 3), valid=score.valid)
-            scores.append(score)
+            if pending:
+                with tel.wall_span("fuzz.batch", pid="fuzzer",
+                                   category="fuzz",
+                                   first_iteration=first_iteration,
+                                   size=len(pending)) as span:
+                    outcomes = runner.map([
+                        {"config": batch[i][1], "weights": self.weights}
+                        for i in pending
+                    ])
+                    for i, outcome in zip(pending, outcomes):
+                        scores[i] = outcome.value if outcome.ok else None
+                    span.set(failed=sum(1 for i in pending
+                                        if scores[i] is None))
+        else:
+            for i in pending:
+                config = batch[i][1]
+                # Each iteration spawns an independent sim starting at
+                # t=0, so the generation span lives on the wall-clock
+                # lane.
+                with tel.wall_span("fuzz.generation", pid="fuzzer",
+                                   category="fuzz",
+                                   iteration=first_iteration + i) as span:
+                    result = self._run(config)
+                    score = score_result(result, self.weights)
+                    span.set(score=round(score.total, 3), valid=score.valid)
+                scores[i] = score
+        if store is not None:
+            from ...store.serialize import encode_score
+
+            for i in pending:
+                if scores[i] is not None:
+                    store.put(fps[i], "score", encode_score(scores[i]))
         return scores
 
     # ------------------------------------------------------------------
     def run(self, iterations: int = 20, stop_on_first: bool = False,
             workers: int = 1, batch_size: int = 1,
-            runner: Optional["ParallelRunner"] = None) -> FuzzReport:
+            runner: Optional["ParallelRunner"] = None,
+            store: Optional["CampaignStore"] = None,
+            campaign_dir: Optional[str] = None) -> FuzzReport:
         """Run the fuzzing loop for at most ``iterations`` rounds.
 
         ``batch_size`` fixes the generation schedule (how many
@@ -195,15 +274,62 @@ class LuminaFuzzer:
         or for tests); otherwise one is created when ``workers > 1``.
         Pool execution requires the default ``run_test`` runner — a
         custom ``run_fn`` keeps scoring in-process.
+
+        ``store`` dedups identical candidate runs across (and within)
+        campaigns. ``campaign_dir`` makes the campaign *persistent*:
+        a store under ``<dir>/store`` plus a generation journal under
+        ``<dir>/journal.jsonl``. A killed campaign re-invoked with the
+        same directory resumes after the last complete generation and
+        its final report is byte-identical to an uninterrupted run's
+        (the journal carries the full fuzzer state). The environment
+        knob ``REPRO_CAMPAIGN_CRASH_AFTER_GEN=<k>`` kills the process
+        (exit 3) right after journaling generation ``k`` — a
+        deterministic stand-in for mid-campaign crashes, used by tests
+        and the CI resume smoke.
         """
+        batch_size = max(1, batch_size)
+        journal = None
+        if campaign_dir is not None:
+            from ...store import CampaignJournal, CampaignStore
+
+            if store is None:
+                store = CampaignStore(os.path.join(campaign_dir, "store"))
+            journal = CampaignJournal(
+                os.path.join(campaign_dir, "journal.jsonl"))
         report = FuzzReport()
+        completed = 0
+        stopped = False
+        generation = 0
+        crash_after: Optional[int] = None
+        if journal is not None:
+            from ...store.index import StoreError
+            from ...store.serialize import decode_fuzz_report
+
+            campaign_fp = self._campaign_fingerprint(batch_size)
+            begin = journal.last("begin")
+            if begin is None:
+                journal.append({"type": "begin",
+                                "fingerprint": campaign_fp})
+            elif begin["fingerprint"] != campaign_fp:
+                raise StoreError(
+                    f"campaign dir {campaign_dir!r} belongs to a different "
+                    "campaign (base config, seed or fuzzing knobs differ)")
+            checkpoint = journal.last("generation")
+            if checkpoint is not None:
+                self.load_state(checkpoint["state"])
+                report = decode_fuzz_report(checkpoint["report"])
+                completed = checkpoint["completed"]
+                stopped = checkpoint["stopped"]
+                generation = checkpoint["generation"]
+            env = os.environ.get("REPRO_CAMPAIGN_CRASH_AFTER_GEN")
+            if env:
+                crash_after = int(env)
         tel = telemetry.current()
         m_iters = tel.counter("fuzz_iterations")
         m_invalid = tel.counter("fuzz_invalid_runs")
         m_findings = tel.counter("fuzz_findings")
         h_score = tel.histogram("fuzz_score",
                                 buckets=(0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0))
-        batch_size = max(1, batch_size)
         owns_runner = False
         if runner is None and workers > 1 and self._run is run_test:
             from ...exec import ParallelRunner
@@ -212,12 +338,11 @@ class LuminaFuzzer:
             runner = ParallelRunner(score_config_task, workers=workers)
             owns_runner = True
         try:
-            completed = 0
-            stopped = False
             while completed < iterations and not stopped:
                 batch = self._generate_batch(
                     min(batch_size, iterations - completed))
-                scores = self._score_batch(batch, runner, completed + 1)
+                scores = self._score_batch(batch, runner, completed + 1,
+                                           store)
                 # Step 4: selection — sequential, in candidate order, so
                 # every RNG draw happens on the parent's single stream.
                 for offset, ((candidate, _), score) in enumerate(
@@ -246,6 +371,20 @@ class LuminaFuzzer:
                             stopped = True
                             break
                 completed += len(batch)
+                if journal is not None:
+                    generation += 1
+                    from ...store.serialize import encode_fuzz_report
+
+                    journal.append({
+                        "type": "generation",
+                        "generation": generation,
+                        "completed": completed,
+                        "stopped": stopped,
+                        "state": self.state_dict(),
+                        "report": encode_fuzz_report(report),
+                    })
+                    if crash_after is not None and generation >= crash_after:
+                        raise SystemExit(3)
         finally:
             if owns_runner:
                 runner.close()

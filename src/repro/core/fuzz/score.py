@@ -22,8 +22,8 @@ from dataclasses import dataclass, field
 from math import log10
 from typing import Dict, List
 
-from ..analyzers.counter_check import check_counters
-from ..analyzers.gbn_fsm import check_gbn_compliance
+from ..analyzers.base import AnalyzerContext
+from ..analyzers.registry import get_analyzer
 from ..results import TestResult
 
 __all__ = ["ScoreWeights", "Score", "score_result"]
@@ -75,14 +75,15 @@ def score_result(result: TestResult,
                                f"({result.integrity.summary()})")
         return score
 
-    counter_report = check_counters(result)
+    ctx = AnalyzerContext.for_result(result)
+    counter_report = get_analyzer("counters").analyze(result.trace, ctx).data
     if counter_report.mismatches:
         score.add("counter_inconsistency",
                   weights.counter_inconsistency * len(counter_report.mismatches),
                   f"{len(counter_report.mismatches)} counter mismatch(es): "
                   + "; ".join(str(m) for m in counter_report.mismatches[:3]))
 
-    fsm = check_gbn_compliance(result.trace, mtu=result.config.traffic.mtu)
+    fsm = get_analyzer("gbn").analyze(result.trace, ctx).data
     if fsm.violations:
         score.add("fsm_violation",
                   weights.fsm_violation * len(fsm.violations),

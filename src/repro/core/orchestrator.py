@@ -22,7 +22,10 @@ returned :class:`~repro.core.results.TestResult`.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # avoid a runtime core -> store import cycle
+    from ..store.index import CampaignStore
 
 from ..switch.events import RewriteRule
 from ..telemetry import runtime as telemetry
@@ -210,13 +213,32 @@ class Orchestrator:
 
 
 def run_test(config: TestConfig,
-             rewrite_rules: Optional[List[RewriteRule]] = None) -> TestResult:
-    """Convenience one-shot: build, run and collect a test."""
+             rewrite_rules: Optional[List[RewriteRule]] = None,
+             store: Optional["CampaignStore"] = None) -> TestResult:
+    """Convenience one-shot: build, run and collect a test.
+
+    With a ``store``, the config's fingerprint is probed first and a
+    cached run is replayed — full trace included — instead of
+    simulating again; fresh results are written back. Rewrite rules
+    are extra-config state, so rewrite-rule runs bypass the store.
+    """
+    if store is not None and not rewrite_rules:
+        from ..store.fingerprint import config_fingerprint
+        from ..store.serialize import decode_result, encode_result
+
+        fp = config_fingerprint(config, kind="result")
+        cached = store.get(fp)
+        if cached is not None:
+            return decode_result(cached)
+        result = Orchestrator(config).run()
+        store.put(fp, "result", encode_result(result))
+        return result
     return Orchestrator(config, rewrite_rules=rewrite_rules).run()
 
 
 def run_tests(configs: List[TestConfig], workers: int = 1,
-              task_timeout_s: Optional[float] = None) -> List[TestResult]:
+              task_timeout_s: Optional[float] = None,
+              store: Optional["CampaignStore"] = None) -> List[TestResult]:
     """Run a batch of independent tests, optionally on a process pool.
 
     Results come back in config order and are identical for any worker
@@ -227,18 +249,46 @@ def run_tests(configs: List[TestConfig], workers: int = 1,
 
     Raises ``RuntimeError`` if any run fails outright; worker crashes
     are retried and fall back to in-process execution first.
+
+    ``store`` dedups: cached configs are replayed from disk and only
+    the misses are dispatched (results are written back).
     """
     if workers <= 1:
-        return [run_test(config) for config in configs]
-    from ..exec import ParallelRunner
-    from ..exec.tasks import run_config_task
+        return [run_test(config, store=store) for config in configs]
+    results: List[Optional[TestResult]] = [None] * len(configs)
+    pending = list(range(len(configs)))
+    fps: List[Optional[str]] = [None] * len(configs)
+    if store is not None:
+        from ..store.fingerprint import config_fingerprint
+        from ..store.serialize import decode_result
 
-    with ParallelRunner(run_config_task, workers=workers,
-                        task_timeout_s=task_timeout_s) as runner:
-        outcomes = runner.map([{"config": config} for config in configs])
-    failures = [o for o in outcomes if not o.ok]
-    if failures:
-        raise RuntimeError(
-            f"{len(failures)} of {len(configs)} runs failed; first: "
-            f"{failures[0].error}")
-    return [o.value for o in outcomes]
+        pending = []
+        for i, config in enumerate(configs):
+            fps[i] = config_fingerprint(config, kind="result")
+            cached = store.get(fps[i])
+            if cached is not None:
+                results[i] = decode_result(cached)
+            else:
+                pending.append(i)
+    if pending:
+        from ..exec import ParallelRunner
+        from ..exec.tasks import run_config_task
+
+        with ParallelRunner(run_config_task, workers=workers,
+                            task_timeout_s=task_timeout_s) as runner:
+            outcomes = runner.map([{"config": configs[i]} for i in pending])
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            raise RuntimeError(
+                f"{len(failures)} of {len(configs)} runs failed; first: "
+                f"{failures[0].error}")
+        if store is not None:
+            from ..store.serialize import encode_result
+
+            for i, outcome in zip(pending, outcomes):
+                results[i] = outcome.value
+                store.put(fps[i], "result", encode_result(outcome.value))
+        else:
+            for i, outcome in zip(pending, outcomes):
+                results[i] = outcome.value
+    return results  # type: ignore[return-value]

@@ -11,11 +11,9 @@ from __future__ import annotations
 from typing import List
 
 from ..net.addressing import int_to_ip
-from .analyzers.cnp import analyze_cnps
-from .analyzers.counter_check import check_counters
-from .analyzers.gbn_fsm import check_gbn_compliance
+from .analyzers.base import AnalyzerContext
 from .analyzers.goodput import mct_stats
-from .analyzers.retrans_perf import analyze_retransmissions
+from .analyzers.registry import get_analyzer
 from .results import TestResult
 
 __all__ = ["render_report"]
@@ -35,6 +33,7 @@ def _section(title: str) -> List[str]:
 def render_report(result: TestResult) -> str:
     """Render one result as a multi-section plain-text report."""
     traffic = result.config.traffic
+    ctx = AnalyzerContext.for_result(result)
     lines: List[str] = [
         "Lumina test report",
         "==================",
@@ -87,7 +86,7 @@ def render_report(result: TestResult) -> str:
                      f"aborted (retry exhaustion)")
 
     lines += _section("Retransmission analysis (§4)")
-    events = analyze_retransmissions(result.trace)
+    events = get_analyzer("retransmission").analyze(result.trace, ctx).data
     if not events:
         lines.append("no injected drops")
     for event in events:
@@ -105,7 +104,7 @@ def render_report(result: TestResult) -> str:
             detail += " [INCONCLUSIVE: capture gap in recovery window]"
         lines.append(detail)
 
-    fsm = check_gbn_compliance(result.trace, mtu=traffic.mtu)
+    fsm = get_analyzer("gbn").analyze(result.trace, ctx).data
     lines += _section("Go-back-N logic check (§4)")
     if fsm.compliant:
         lines.append(f"compliant ({fsm.connections_checked} connections, "
@@ -118,7 +117,7 @@ def render_report(result: TestResult) -> str:
                      f"connection(s) skipped — capture gaps overlap their "
                      f"window")
 
-    cnps = analyze_cnps(result.trace)
+    cnps = get_analyzer("cnp").analyze(result.trace, ctx).data
     if cnps.total_cnps or cnps.total_ecn_marked:
         lines += _section("Congestion notification (§4)")
         lines.append(f"ECN-marked data packets: {cnps.total_ecn_marked}, "
@@ -128,7 +127,7 @@ def render_report(result: TestResult) -> str:
                          "bounds, spurious CNPs may have visible causes "
                          "lost from the trace")
 
-    counter_report = check_counters(result)
+    counter_report = get_analyzer("counters").analyze(result.trace, ctx).data
     lines += _section("Counter check (§4)")
     if not counter_report.conclusive:
         lines.append("INCONCLUSIVE: capture gaps make trace-derived "

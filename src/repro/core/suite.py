@@ -32,18 +32,17 @@ rnr-flow-control                Sends without recv WQEs RNR-NAK, then finish
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
-if TYPE_CHECKING:  # avoid a runtime core -> exec import cycle
+if TYPE_CHECKING:  # avoid a runtime core -> exec/store import cycle
     from ..exec.runner import ParallelRunner
     from ..faults.scenarios import FaultScenario
+    from ..store.index import CampaignStore
 
-from .analyzers.cnp import analyze_cnps, min_cnp_interval_ns
-from .analyzers.counter_check import check_counters
-from .analyzers.gbn_fsm import check_gbn_compliance
+from .analyzers.base import AnalyzerContext, AnalyzerResult, Outcome
+from .analyzers.cnp import min_cnp_interval_ns
 from .analyzers.goodput import per_qp_goodput_gbps, split_mct
-from .analyzers.retrans_perf import analyze_retransmissions
+from .analyzers.registry import get_analyzer
 from .config import (
     DataPacketEvent,
     DumperPoolConfig,
@@ -59,21 +58,23 @@ from .orchestrator import run_test
 from .results import TestResult
 
 __all__ = ["Outcome", "CheckResult", "Scorecard", "COVERAGE",
-           "run_conformance_suite", "CHECKS"]
+           "run_conformance_suite", "CHECKS", "DEFAULT_SUITE_SEED"]
+
+#: The battery's canonical seed. Every front-end (CLI, api facade,
+#: examples) that wants "the standard scorecard" resolves a missing
+#: seed to this one value — the 77-vs-None divergence between entry
+#: points is gone.
+DEFAULT_SUITE_SEED = 77
 
 
-class Outcome(str, Enum):
-    """Trichotomous check verdict (§3.5 applied to the suite).
+# Outcome now lives with the analyzer protocol (analyzers.base) and is
+# re-exported here unchanged for every existing ``suite.Outcome`` user.
 
-    INCONCLUSIVE means the capture, not the NIC, failed: a trace gap
-    overlaps the packets the check inspects, so neither PASS nor FAIL
-    would be honest. It is rendered distinctly and never counts as a
-    pass.
-    """
 
-    PASS = "PASS"
-    FAIL = "FAIL"
-    INCONCLUSIVE = "INCONCLUSIVE"
+def _analyze(name: str, result: TestResult) -> AnalyzerResult:
+    """Run one registered analyzer over a finished test."""
+    return get_analyzer(name).analyze(result.trace,
+                                      AnalyzerContext.for_result(result))
 
 
 @dataclass
@@ -175,7 +176,7 @@ def _drop_run(nic: str, verb: str, seed: int,
 def check_gbn_logic(nic: str, seed: int,
                     faults: Optional["FaultScenario"] = None) -> CheckResult:
     result = _drop_run(nic, "write", seed, faults)
-    report = check_gbn_compliance(result.trace)
+    report = _analyze("gbn", result).data
     if not report.conclusive:
         return CheckResult.inconclusive(
             "gbn-logic",
@@ -191,7 +192,7 @@ def check_fast_retransmission(nic: str, seed: int,
                               faults: Optional["FaultScenario"] = None,
                               ) -> CheckResult:
     result = _drop_run(nic, "write", seed, faults)
-    events = analyze_retransmissions(result.trace)
+    events = _analyze("retransmission", result).data
     if (not events and result.trace.has_gaps) or \
             (events and not events[0].conclusive):
         return CheckResult.inconclusive(
@@ -207,7 +208,7 @@ def check_recovery_latency(nic: str, seed: int,
                            faults: Optional["FaultScenario"] = None,
                            budget_ns: int = 100_000) -> CheckResult:
     result = _drop_run(nic, "write", seed, faults)
-    events = analyze_retransmissions(result.trace)
+    events = _analyze("retransmission", result).data
     if (not events and result.trace.has_gaps) or \
             (events and not events[0].conclusive):
         return CheckResult.inconclusive(
@@ -228,7 +229,7 @@ def check_read_loss_recovery(nic: str, seed: int,
                              faults: Optional["FaultScenario"] = None,
                              budget_ns: int = 1_000_000) -> CheckResult:
     result = _drop_run(nic, "read", seed, faults)
-    events = analyze_retransmissions(result.trace)
+    events = _analyze("retransmission", result).data
     if (not events and result.trace.has_gaps) or \
             (events and not events[0].conclusive):
         return CheckResult.inconclusive(
@@ -287,8 +288,9 @@ def check_counter_consistency(nic: str, seed: int,
         traffic = TrafficConfig(num_connections=1, rdma_verb=verb,
                                 num_msgs_per_qp=2, message_size=10240,
                                 mtu=1024, data_pkt_events=(event,))
-        report = check_counters(
-            run_test(_config(nic, traffic, seed, faults=faults)))
+        report = _analyze(
+            "counters",
+            run_test(_config(nic, traffic, seed, faults=faults))).data
         if not report.conclusive:
             return CheckResult.inconclusive(
                 "counter-consistency",
@@ -307,7 +309,7 @@ def check_cnp_generation(nic: str, seed: int,
         data_pkt_events=(DataPacketEvent(qpn=1, psn=3, type="ecn"),),
     )
     result = run_test(_config(nic, traffic, seed, faults=faults))
-    report = analyze_cnps(result.trace)
+    report = _analyze("cnp", result).data
     if not report.conclusive:
         return CheckResult.inconclusive(
             "cnp-generation",
@@ -516,13 +518,32 @@ def _resolve_faults(faults: Optional[Union[str, "FaultScenario"]]
     return get_scenario(faults)
 
 
-def run_conformance_suite(nic: str, seed: int = 77,
+def _check_fingerprint(name: str, nic: str, seed: int,
+                       scenario: Optional["FaultScenario"]) -> str:
+    """Store address of one check verdict: battery inputs + NIC profile."""
+    from ..rdma.profiles import PROFILES
+    from ..store.fingerprint import canonicalize, fingerprint
+
+    return fingerprint("check", {
+        "check": name,
+        "nic": nic.lower(),
+        "seed": seed,
+        "faults": canonicalize(scenario),
+        "profile": canonicalize(PROFILES[nic.lower()]),
+    })
+
+
+def run_conformance_suite(nic: str, seed: Optional[int] = None,
                           checks: Optional[List[str]] = None,
                           workers: int = 1,
                           runner: Optional["ParallelRunner"] = None,
                           faults: Optional[Union[str, "FaultScenario"]] = None,
+                          store: Optional["CampaignStore"] = None,
                           ) -> Scorecard:
     """Run the standard battery (or a subset) against one NIC model.
+
+    ``seed=None`` resolves to :data:`DEFAULT_SUITE_SEED` — the single
+    source of truth for the battery's canonical seed.
 
     Checks are independent (each builds its own testbed from the same
     seed), so with ``workers > 1`` they execute on a
@@ -536,43 +557,73 @@ def run_conformance_suite(nic: str, seed: int = 77,
     check under injected measurement-plane faults: trace-based checks
     whose inspected window is hit by a capture gap come back
     INCONCLUSIVE instead of a false verdict (see ``COVERAGE``).
+
+    ``store`` (a :class:`repro.store.CampaignStore`) replays cached
+    verdicts instead of re-running checks: each verdict is keyed by
+    (check, nic, seed, fault scenario, NIC profile, code version), so
+    a repeated battery is near-instant while any input change forces a
+    re-run. Execution *failures* are never cached.
     """
+    if seed is None:
+        seed = DEFAULT_SUITE_SEED
     selected = checks or list(CHECKS)
     unknown = set(selected) - set(CHECKS)
     if unknown:
         raise KeyError(f"unknown checks: {sorted(unknown)}")
     scenario = _resolve_faults(faults)
     card = Scorecard(nic=nic)
-    if workers <= 1 and runner is None:
-        for name in selected:
-            card.results.append(CHECKS[name](nic, seed, scenario))
-        return card
+    results: Dict[str, CheckResult] = {}
+    fps: Dict[str, str] = {}
+    pending = list(selected)
+    if store is not None:
+        from ..store.serialize import decode_check_result
 
-    from ..exec import ParallelRunner
-    from ..exec.tasks import run_check_task
-
-    owns_runner = runner is None
-    if owns_runner:
-        runner = ParallelRunner(run_check_task, workers=workers)
-    try:
-        payloads = []
+        pending = []
         for name in selected:
-            payload: Dict[str, object] = {"check": name, "nic": nic,
-                                          "seed": seed}
-            if scenario is not None:
-                # FaultScenario is a frozen dataclass: pickles fine, so
-                # ad-hoc scenarios work across the pool, not just named
-                # presets.
-                payload["faults"] = scenario
-            payloads.append(payload)
-        outcomes = runner.map(payloads)
-    finally:
+            fps[name] = _check_fingerprint(name, nic, seed, scenario)
+            cached = store.get(fps[name])
+            if cached is not None:
+                results[name] = decode_check_result(cached)
+            else:
+                pending.append(name)
+
+    def _record(name: str, result: CheckResult, cacheable: bool) -> None:
+        results[name] = result
+        if store is not None and cacheable:
+            from ..store.serialize import encode_check_result
+
+            store.put(fps[name], "check", encode_check_result(result))
+
+    if pending and workers <= 1 and runner is None:
+        for name in pending:
+            _record(name, CHECKS[name](nic, seed, scenario), True)
+    elif pending:
+        from ..exec import ParallelRunner
+        from ..exec.tasks import run_check_task
+
+        owns_runner = runner is None
         if owns_runner:
-            runner.close()
-    for name, outcome in zip(selected, outcomes):
-        if outcome.ok:
-            card.results.append(outcome.value)
-        else:
-            card.results.append(CheckResult(
-                name, False, f"execution failed: {outcome.error}"))
+            runner = ParallelRunner(run_check_task, workers=workers)
+        try:
+            payloads = []
+            for name in pending:
+                payload: Dict[str, object] = {"check": name, "nic": nic,
+                                              "seed": seed}
+                if scenario is not None:
+                    # FaultScenario is a frozen dataclass: pickles fine,
+                    # so ad-hoc scenarios work across the pool, not just
+                    # named presets.
+                    payload["faults"] = scenario
+                payloads.append(payload)
+            outcomes = runner.map(payloads)
+        finally:
+            if owns_runner:
+                runner.close()
+        for name, outcome in zip(pending, outcomes):
+            if outcome.ok:
+                _record(name, outcome.value, True)
+            else:
+                _record(name, CheckResult(
+                    name, False, f"execution failed: {outcome.error}"), False)
+    card.results = [results[name] for name in selected]
     return card

@@ -83,7 +83,13 @@ _MAX_POOL_BREAKS = 3
 
 @dataclass
 class TaskOutcome:
-    """Result envelope for one mapped payload (same index as input)."""
+    """Result envelope for one mapped payload (same index as input).
+
+    ``cached`` marks outcomes replayed from a campaign store rather
+    than executed; the runner itself never sets it, but campaign
+    front-ends construct cached outcomes so hit and miss cells flow
+    through one reporting path.
+    """
 
     index: int
     ok: bool
@@ -91,6 +97,7 @@ class TaskOutcome:
     error: Optional[str] = None
     attempts: int = 1
     ran_in_process: bool = False
+    cached: bool = False
 
 
 @dataclass

@@ -26,6 +26,7 @@ __all__ = [
     "run_check_task",
     "run_config_task",
     "run_summary_task",
+    "summarize_result",
     "echo_task",
     "sleep_task",
     "crash_in_worker_task",
@@ -74,14 +75,13 @@ def run_config_task(payload: Dict[str, Any]):
     return run_test(payload["config"])
 
 
-def run_summary_task(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Benchmark-sweep unit: run one config, return a compact summary.
+def summarize_result(result) -> Dict[str, Any]:
+    """The sweep's compact summary of one :class:`TestResult`.
 
-    Payload: ``{"config": TestConfig}``.
+    Shared by :func:`run_summary_task` (pool workers) and the campaign
+    store's replay path, so a cached cell and a fresh cell summarise
+    identically — a prerequisite for byte-identical sweep reports.
     """
-    from ..core.orchestrator import run_test
-
-    result = run_test(payload["config"])
     log = result.traffic_log
     return {
         "ok": result.ok,
@@ -95,6 +95,16 @@ def run_summary_task(payload: Dict[str, Any]) -> Dict[str, Any]:
             "retransmitted_packets"]),
         "timeouts": int(result.requester_counters["local_ack_timeout_err"]),
     }
+
+
+def run_summary_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Benchmark-sweep unit: run one config, return a compact summary.
+
+    Payload: ``{"config": TestConfig}``.
+    """
+    from ..core.orchestrator import run_test
+
+    return summarize_result(run_test(payload["config"]))
 
 
 # ---------------------------------------------------------------------------

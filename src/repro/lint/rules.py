@@ -147,11 +147,12 @@ class WallClockRule(Rule):
     name = "wall-clock-in-sim"
     severity = Severity.ERROR
     description = ("wall-clock call inside simulation code "
-                   "(sim/, switch/, rdma/, core/, faults/, dumper/)")
+                   "(sim/, switch/, rdma/, core/, faults/, dumper/, "
+                   "store/)")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not _in_dir(ctx.path, "sim", "switch", "rdma", "core",
-                       "faults", "dumper"):
+                       "faults", "dumper", "store"):
             return
         allowed: Set[str] = set()
         for suffix, callees in _DET001_SCOPED_ALLOW.items():

@@ -34,6 +34,26 @@ class SimRandom:
         """Derive an independent stream for a sub-component."""
         return SimRandom(self.seed, f"{self.namespace}/{namespace}")
 
+    def getstate(self) -> tuple:
+        """Internal generator state (JSON-representable tuple of ints).
+
+        Lets long-running consumers — the fuzzer's campaign journal —
+        checkpoint and later resume the stream exactly where it left
+        off, which is what makes killed campaigns byte-identical to
+        uninterrupted ones on resume.
+        """
+        return self._rng.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore a state captured by :meth:`getstate`.
+
+        Accepts the JSON round-tripped form (nested lists) as well as
+        the native tuple.
+        """
+        version, internal, gauss_next = state
+        self._rng.setstate((int(version), tuple(int(v) for v in internal),
+                            gauss_next))
+
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in [lo, hi] inclusive."""
         return self._rng.randint(lo, hi)

@@ -1,0 +1,60 @@
+"""Content-addressed campaign store (persistence & dedup layer).
+
+Lumina campaigns — fuzzing generations, conformance batteries, NIC×seed
+sweeps — re-execute near-identical configurations constantly. This
+package keys every outcome by a *canonical config fingerprint* (stable
+JSON of config + NIC profiles + seed + fault scenario + code-version
+salt) so identical runs are computed once and replayed from disk ever
+after, and journals campaign state so an interrupted campaign resumes
+deterministically — the resumed report is byte-identical to an
+uninterrupted run's.
+
+Layout of a campaign directory::
+
+    <dir>/store/index.json            fingerprint -> {kind, seq}
+    <dir>/store/objects/ab/<fp>.json  one entry per fingerprint
+    <dir>/journal.jsonl               append-only campaign checkpoints
+"""
+
+from .fingerprint import (
+    SCHEMA_VERSION,
+    canonical_json,
+    canonicalize,
+    config_fingerprint,
+    fingerprint,
+)
+from .index import CampaignStore, StoreError
+from .journal import CampaignJournal
+from .serialize import (
+    decode_analyzer_result,
+    decode_check_result,
+    decode_fuzz_report,
+    decode_result,
+    decode_score,
+    encode_analyzer_result,
+    encode_check_result,
+    encode_fuzz_report,
+    encode_result,
+    encode_score,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonicalize",
+    "canonical_json",
+    "fingerprint",
+    "config_fingerprint",
+    "CampaignStore",
+    "StoreError",
+    "CampaignJournal",
+    "encode_result",
+    "decode_result",
+    "encode_score",
+    "decode_score",
+    "encode_check_result",
+    "decode_check_result",
+    "encode_analyzer_result",
+    "decode_analyzer_result",
+    "encode_fuzz_report",
+    "decode_fuzz_report",
+]

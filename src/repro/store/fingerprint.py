@@ -1,0 +1,100 @@
+"""Canonical config fingerprints: the store's content addresses.
+
+A fingerprint is the SHA-256 of a *canonical JSON* document — sorted
+keys, compact separators, every value reduced to JSON primitives — so
+two configs that are equal as dataclasses hash identically no matter
+how their dicts were ordered or which process produced them. The
+document covers everything that determines a run's outcome:
+
+* the full :class:`~repro.core.config.TestConfig` (``to_dict`` shape),
+  which already folds in the seed, retry policy and any measurement
+  fault scenario (:meth:`FaultScenario.apply` writes into the config);
+* both hosts' RNIC behaviour profiles, so editing a profile's measured
+  latencies invalidates cached results for that NIC;
+* a code-version salt (package version + store schema version), so a
+  release that changes simulator semantics never replays stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from ..core.config import TestConfig
+
+__all__ = ["SCHEMA_VERSION", "canonicalize", "canonical_json",
+           "fingerprint", "config_fingerprint"]
+
+#: Bump when the canonical document or stored-entry shape changes.
+SCHEMA_VERSION = 1
+
+
+def _code_salt() -> str:
+    from .. import __version__
+
+    return f"repro/{__version__}/store-schema-{SCHEMA_VERSION}"
+
+
+def canonicalize(obj):
+    """Reduce ``obj`` to JSON primitives, deterministically.
+
+    Dataclasses become field dicts (non-compared fields — caches —
+    are skipped), enums their values, sets sorted lists, bytes hex.
+    Dict keys are stringified so integer-keyed maps survive a JSON
+    round-trip unambiguously.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: canonicalize(getattr(obj, f.name))
+                for f in fields(obj) if f.compare}
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonicalize(v) for v in obj)
+    if isinstance(obj, bytes):
+        return obj.hex()
+    return obj
+
+
+def canonical_json(obj) -> str:
+    """The unique JSON rendering fingerprints are computed over."""
+    return json.dumps(canonicalize(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def fingerprint(kind: str, payload) -> str:
+    """SHA-256 hex digest of ``(kind, code salt, canonical payload)``."""
+    body = canonical_json({"kind": kind, "salt": _code_salt(),
+                           "payload": payload})
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: "TestConfig", kind: str = "result",
+                       extra: Optional[dict] = None) -> str:
+    """Fingerprint of one test configuration (plus optional context).
+
+    ``extra`` folds caller context into the address — e.g. the fuzzer
+    adds its score weights (same config, different weights, different
+    score) and the suite adds the check name.
+    """
+    from ..rdma.profiles import PROFILES
+
+    payload = {
+        "config": config.to_dict(),
+        "profiles": {
+            "requester": canonicalize(
+                PROFILES[config.requester.nic_type.lower()]),
+            "responder": canonicalize(
+                PROFILES[config.responder.nic_type.lower()]),
+        },
+    }
+    if extra:
+        payload["extra"] = canonicalize(extra)
+    return fingerprint(kind, payload)

@@ -1,0 +1,66 @@
+"""Append-only campaign journal (JSONL checkpoints).
+
+The fuzzer appends one record per generation — completed-iteration
+count, full fuzzer state (RNG stream, seed counter, pool, sorted pool
+scores) and the report so far — so a killed ``--campaign`` run resumes
+from the last complete generation and finishes byte-identical to an
+uninterrupted run. Loading tolerates a torn final line (the one a kill
+can produce mid-append); a torn line simply means that generation is
+re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+__all__ = ["CampaignJournal"]
+
+
+class CampaignJournal:
+    """One JSONL file of campaign checkpoints."""
+
+    def __init__(self, path: str):
+        self.path = path
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+
+    @property
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def append(self, record: Dict) -> None:
+        """Append one checkpoint; flushed so a later kill can't lose it."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> List[Dict]:
+        """All intact records, in order; a torn tail line is dropped."""
+        if not self.exists:
+            return []
+        records: List[Dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn tail from a kill mid-append: ignore
+                raise
+        return records
+
+    def last(self, record_type: str) -> Optional[Dict]:
+        """The most recent record of one type, or None."""
+        for record in reversed(self.load()):
+            if record.get("type") == record_type:
+                return record
+        return None

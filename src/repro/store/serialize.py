@@ -1,0 +1,360 @@
+"""Stable JSON serialization for campaign artefacts.
+
+Everything the store replays — full :class:`TestResult` objects, fuzz
+scores, suite check verdicts, fuzz reports — round-trips through plain
+JSON dicts such that ``decode(encode(x)) == x`` under dataclass
+equality. The trace is the subtle part: parsed records carry no raw
+bytes, but every byte of a trimmed dump record is reconstructible from
+its headers (payloads are zeroed on capture, §5), so records are
+stored as hex wire bytes and reloaded through the same
+:func:`~repro.core.trace.reconstruct_trace` path a live run uses —
+ITER derivation included, so a replayed trace is indistinguishable
+from a fresh one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.config import TestConfig
+from ..core.intent import QpMetadata
+from ..core.results import AttemptRecord, HostCounters, TestResult
+from ..core.trace import IntegrityReport, PacketTrace, reconstruct_trace
+from ..core.trafficgen import MessageRecord, QpStats, TrafficGenLog
+from ..dumper.records import TRIM_BYTES, DumpRecord, ParsedRecord
+from ..net.headers import ETH_HEADER_LEN
+from ..rdma.verbs import Verb, WcStatus
+
+__all__ = [
+    "encode_result", "decode_result",
+    "encode_score", "decode_score",
+    "encode_check_result", "decode_check_result",
+    "encode_analyzer_result", "decode_analyzer_result",
+    "encode_fuzz_report", "decode_fuzz_report",
+]
+
+
+# ---------------------------------------------------------------------------
+# Trace records
+# ---------------------------------------------------------------------------
+
+def _record_raw(rec: ParsedRecord) -> bytes:
+    """Rebuild a record's trimmed wire bytes from its parsed headers.
+
+    Mirrors :func:`repro.dumper.records.make_record`: headers packed
+    back to back, zero-padded to the trimmed wire length
+    ``min(TRIM_BYTES, eth + ip.total_length)`` — payload bytes are
+    zeroed at capture time, so nothing is lost.
+    """
+    parts = [rec.eth.pack(), rec.ip.pack(), rec.udp.pack(), rec.bth.pack()]
+    if rec.reth is not None:
+        parts.append(rec.reth.pack())
+    if rec.aeth is not None:
+        parts.append(rec.aeth.pack())
+    headers = b"".join(parts)
+    wire_len = min(TRIM_BYTES, ETH_HEADER_LEN + rec.ip.total_length)
+    if len(headers) >= wire_len:
+        return headers[:wire_len]
+    return headers + bytes(wire_len - len(headers))
+
+
+def _encode_trace(trace: PacketTrace) -> Dict:
+    return {
+        "expected-packets": trace.expected_packets,
+        "records": [
+            {"raw": _record_raw(p.record).hex(),
+             "rx-time-ns": p.record.rx_time_ns,
+             "server": p.record.server,
+             "core": p.record.core}
+            for p in trace.packets
+        ],
+    }
+
+
+def _decode_trace(data: Dict) -> PacketTrace:
+    records = [
+        DumpRecord(raw=bytes.fromhex(r["raw"]), rx_time_ns=r["rx-time-ns"],
+                   server=r["server"], core=r["core"])
+        for r in data["records"]
+    ]
+    return reconstruct_trace(records, expected_packets=data["expected-packets"])
+
+
+# ---------------------------------------------------------------------------
+# Result components
+# ---------------------------------------------------------------------------
+
+def _encode_integrity(report: IntegrityReport) -> Dict:
+    return {
+        "seq-consecutive": report.seq_consecutive,
+        "mirror-count-matches": report.mirror_count_matches,
+        "roce-count-matches": report.roce_count_matches,
+        "trace-packets": report.trace_packets,
+        "mirrored-packets": report.mirrored_packets,
+        "roce-rx-packets": report.roce_rx_packets,
+        "missing-seqs": list(report.missing_seqs),
+    }
+
+
+def _decode_integrity(data: Dict) -> IntegrityReport:
+    return IntegrityReport(
+        seq_consecutive=data["seq-consecutive"],
+        mirror_count_matches=data["mirror-count-matches"],
+        roce_count_matches=data["roce-count-matches"],
+        trace_packets=data["trace-packets"],
+        mirrored_packets=data["mirrored-packets"],
+        roce_rx_packets=data["roce-rx-packets"],
+        missing_seqs=list(data["missing-seqs"]),
+    )
+
+
+def _encode_metadata(meta: QpMetadata) -> Dict:
+    return {
+        "index": meta.index,
+        "requester-ip": meta.requester_ip,
+        "requester-qpn": meta.requester_qpn,
+        "requester-ipsn": meta.requester_ipsn,
+        "responder-ip": meta.responder_ip,
+        "responder-qpn": meta.responder_qpn,
+        "responder-ipsn": meta.responder_ipsn,
+        "verb": meta.verb.value,
+    }
+
+
+def _decode_metadata(data: Dict) -> QpMetadata:
+    return QpMetadata(
+        index=data["index"],
+        requester_ip=data["requester-ip"],
+        requester_qpn=data["requester-qpn"],
+        requester_ipsn=data["requester-ipsn"],
+        responder_ip=data["responder-ip"],
+        responder_qpn=data["responder-qpn"],
+        responder_ipsn=data["responder-ipsn"],
+        verb=Verb(data["verb"]),
+    )
+
+
+def _encode_host_counters(hc: HostCounters) -> Dict:
+    return {"host": hc.host, "nic-type": hc.nic_type,
+            "canonical": dict(hc.canonical), "vendor": dict(hc.vendor),
+            "suppressed": dict(hc.suppressed)}
+
+
+def _decode_host_counters(data: Dict) -> HostCounters:
+    return HostCounters(host=data["host"], nic_type=data["nic-type"],
+                        canonical=dict(data["canonical"]),
+                        vendor=dict(data["vendor"]),
+                        suppressed=dict(data["suppressed"]))
+
+
+def _encode_message(msg: MessageRecord) -> Dict:
+    return {
+        "qp-index": msg.qp_index,
+        "msg-index": msg.msg_index,
+        "wr-id": msg.wr_id,
+        "verb": msg.verb.value,
+        "size": msg.size,
+        "posted-at": msg.posted_at,
+        "completed-at": msg.completed_at,
+        "status": msg.status.value if msg.status is not None else None,
+    }
+
+
+def _decode_message(data: Dict) -> MessageRecord:
+    status = data["status"]
+    return MessageRecord(
+        qp_index=data["qp-index"],
+        msg_index=data["msg-index"],
+        wr_id=data["wr-id"],
+        verb=Verb(data["verb"]),
+        size=data["size"],
+        posted_at=data["posted-at"],
+        completed_at=data["completed-at"],
+        status=WcStatus(status) if status is not None else None,
+    )
+
+
+def _encode_traffic_log(log: TrafficGenLog) -> Dict:
+    return {
+        "per-qp": [
+            {"qp-index": qp.qp_index,
+             "messages": [_encode_message(m) for m in qp.messages]}
+            for qp in log.per_qp
+        ],
+        "started-at": log.started_at,
+        "finished-at": log.finished_at,
+        "aborted-qps": log.aborted_qps,
+    }
+
+
+def _decode_traffic_log(data: Dict) -> TrafficGenLog:
+    return TrafficGenLog(
+        per_qp=[
+            QpStats(qp_index=qp["qp-index"],
+                    messages=[_decode_message(m) for m in qp["messages"]])
+            for qp in data["per-qp"]
+        ],
+        started_at=data["started-at"],
+        finished_at=data["finished-at"],
+        aborted_qps=data["aborted-qps"],
+    )
+
+
+def _encode_attempt(attempt: AttemptRecord) -> Dict:
+    return {
+        "attempt": attempt.attempt,
+        "integrity": _encode_integrity(attempt.integrity),
+        "trace-packets": attempt.trace_packets,
+        "dumper-discards": attempt.dumper_discards,
+        "duration-ns": attempt.duration_ns,
+        "backoff-ns": attempt.backoff_ns,
+    }
+
+
+def _decode_attempt(data: Dict) -> AttemptRecord:
+    return AttemptRecord(
+        attempt=data["attempt"],
+        integrity=_decode_integrity(data["integrity"]),
+        trace_packets=data["trace-packets"],
+        dumper_discards=data["dumper-discards"],
+        duration_ns=data["duration-ns"],
+        backoff_ns=data["backoff-ns"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# TestResult
+# ---------------------------------------------------------------------------
+
+def encode_result(result: TestResult) -> Dict:
+    """``TestResult`` → JSON-serialisable dict (see :func:`decode_result`)."""
+    return {
+        "config": result.config.to_dict(),
+        "metadata": [_encode_metadata(m) for m in result.metadata],
+        "trace": _encode_trace(result.trace),
+        "integrity": _encode_integrity(result.integrity),
+        "requester-counters": _encode_host_counters(result.requester_counters),
+        "responder-counters": _encode_host_counters(result.responder_counters),
+        "traffic-log": _encode_traffic_log(result.traffic_log),
+        "switch-counters": result.switch_counters,
+        "duration-ns": result.duration_ns,
+        "dumper-discards": result.dumper_discards,
+        "attempts": [_encode_attempt(a) for a in result.attempts],
+        "dumper-core-stats": result.dumper_core_stats,
+    }
+
+
+def decode_result(data: Dict) -> TestResult:
+    """Inverse of :func:`encode_result`: ``decode(encode(r)) == r``."""
+    return TestResult(
+        config=TestConfig.from_dict(data["config"]),
+        metadata=[_decode_metadata(m) for m in data["metadata"]],
+        trace=_decode_trace(data["trace"]),
+        integrity=_decode_integrity(data["integrity"]),
+        requester_counters=_decode_host_counters(data["requester-counters"]),
+        responder_counters=_decode_host_counters(data["responder-counters"]),
+        traffic_log=_decode_traffic_log(data["traffic-log"]),
+        switch_counters=data["switch-counters"],
+        duration_ns=data["duration-ns"],
+        dumper_discards=data["dumper-discards"],
+        attempts=[_decode_attempt(a) for a in data["attempts"]],
+        dumper_core_stats=data["dumper-core-stats"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fuzzing artefacts
+# ---------------------------------------------------------------------------
+
+def encode_score(score) -> Dict:
+    return {"total": score.total, "valid": score.valid,
+            "components": dict(score.components),
+            "anomalies": list(score.anomalies)}
+
+
+def decode_score(data: Dict):
+    from ..core.fuzz.score import Score
+
+    return Score(total=data["total"], valid=data["valid"],
+                 components=dict(data["components"]),
+                 anomalies=list(data["anomalies"]))
+
+
+def encode_fuzz_report(report) -> Dict:
+    return {
+        "iterations-run": report.iterations_run,
+        "invalid-runs": report.invalid_runs,
+        "pool-scores": list(report.pool_scores),
+        "findings": [
+            {"iteration": f.iteration, "config": f.config.to_dict(),
+             "score": encode_score(f.score)}
+            for f in report.findings
+        ],
+    }
+
+
+def decode_fuzz_report(data: Dict):
+    from ..core.fuzz.fuzzer import FuzzFinding, FuzzReport
+
+    return FuzzReport(
+        iterations_run=data["iterations-run"],
+        invalid_runs=data["invalid-runs"],
+        pool_scores=list(data["pool-scores"]),
+        findings=[
+            FuzzFinding(iteration=f["iteration"],
+                        config=TestConfig.from_dict(f["config"]),
+                        score=decode_score(f["score"]))
+            for f in data["findings"]
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Suite artefacts
+# ---------------------------------------------------------------------------
+
+def encode_check_result(check) -> Dict:
+    return {"name": check.name, "passed": check.passed,
+            "detail": check.detail,
+            "outcome": check.outcome.value if check.outcome else None}
+
+
+def decode_check_result(data: Dict):
+    from ..core.suite import CheckResult, Outcome
+
+    outcome = data["outcome"]
+    return CheckResult(name=data["name"], passed=data["passed"],
+                       detail=data["detail"],
+                       outcome=Outcome(outcome) if outcome else None)
+
+
+def encode_analyzer_result(result) -> Dict:
+    """Flat projection of an :class:`AnalyzerResult` (drops ``data``)."""
+    return result.to_dict()
+
+
+def decode_analyzer_result(data: Dict):
+    from ..core.analyzers.base import AnalyzerResult
+
+    return AnalyzerResult.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by campaign front-ends
+# ---------------------------------------------------------------------------
+
+def save_result_file(result: TestResult, path: str) -> str:
+    """Write one result as standalone JSON (the ``repro.api`` format)."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(encode_result(result), handle, sort_keys=True, indent=1)
+    return path
+
+
+def load_result_file(path: str) -> TestResult:
+    """Load a result written by :func:`save_result_file`."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return decode_result(json.load(handle))

@@ -32,6 +32,8 @@ _HEADLINE_METRICS = (
     ("dumper_records", "dumper records captured"),
     ("dumper_discards", "dumper discards"),
     ("fault_mirror_dropped", "mirror clones dropped (fault inj.)"),
+    ("store_hits", "campaign store hits"),
+    ("store_misses", "campaign store misses"),
     ("fault_mirror_delayed", "mirror clones delayed (fault inj.)"),
     ("run_integrity_failures", "integrity failures"),
     ("run_retries", "integrity-driven retries"),

@@ -4,15 +4,21 @@ import pytest
 
 from conftest import corrupt, drop, ecn, run_scenario
 from repro.core.analyzers import (
-    analyze_cnps,
-    analyze_retransmissions,
-    check_counters,
-    check_gbn_compliance,
     expected_counters,
     mct_stats,
     min_cnp_interval_ns,
     per_qp_goodput_gbps,
     split_mct,
+)
+# The deprecation shims are covered in test_analyzer_registry; the
+# behaviour tests here go straight to the implementations.
+from repro.core.analyzers.cnp import _analyze_cnps as analyze_cnps
+from repro.core.analyzers.counter_check import _check_counters as check_counters
+from repro.core.analyzers.gbn_fsm import (
+    _check_gbn_compliance as check_gbn_compliance,
+)
+from repro.core.analyzers.retrans_perf import (
+    _analyze_retransmissions as analyze_retransmissions,
 )
 
 

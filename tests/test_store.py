@@ -1,0 +1,186 @@
+"""Tests for the content-addressed campaign store (repro.store)."""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import load_result, quick_config, save_result
+from repro.core.results import AttemptRecord
+from repro.core.suite import CheckResult, Outcome
+from repro.store import CampaignStore
+from repro.store.fingerprint import (
+    canonical_json,
+    canonicalize,
+    config_fingerprint,
+    fingerprint,
+)
+from repro.store.journal import CampaignJournal
+from repro.store.serialize import (
+    decode_check_result,
+    decode_result,
+    decode_score,
+    encode_check_result,
+    encode_result,
+    encode_score,
+)
+
+from conftest import run_scenario
+
+
+class TestFingerprint:
+    def test_same_config_same_fingerprint(self):
+        a = quick_config(nic="cx5", drop_psn=3, seed=4)
+        b = quick_config(nic="cx5", drop_psn=3, seed=4)
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_seed_and_nic_change_fingerprint(self):
+        base = quick_config(nic="cx5", seed=1)
+        assert config_fingerprint(base) != \
+            config_fingerprint(quick_config(nic="cx5", seed=2))
+        assert config_fingerprint(base) != \
+            config_fingerprint(quick_config(nic="cx4", seed=1))
+
+    def test_kind_and_extra_partition_the_address_space(self):
+        config = quick_config()
+        assert config_fingerprint(config, kind="result") != \
+            config_fingerprint(config, kind="score")
+        assert config_fingerprint(config, kind="score") != \
+            config_fingerprint(config, kind="score", extra={"w": 1})
+
+    def test_dict_insertion_order_is_canonicalized_away(self):
+        ab = {"a": 1, "b": [2, 3]}
+        ba = {"b": [2, 3], "a": 1}
+        assert canonical_json(ab) == canonical_json(ba)
+        assert fingerprint("x", ab) == fingerprint("x", ba)
+
+    def test_canonicalize_reduces_exotic_values(self):
+        assert canonicalize({1: b"\x00\xff"}) == {"1": "00ff"}
+        assert canonicalize({"s": {3, 1, 2}}) == {"s": [1, 2, 3]}
+        assert canonicalize(Outcome.PASS) == "PASS"
+
+    def test_fingerprint_stable_across_interpreter_restart(self):
+        # Hash randomisation must not leak into the address: a fresh
+        # interpreter (different PYTHONHASHSEED) computes the same one.
+        config = quick_config(nic="e810", drop_psn=5, seed=9)
+        script = (
+            "from repro import quick_config\n"
+            "from repro.store.fingerprint import config_fingerprint\n"
+            "c = quick_config(nic='e810', drop_psn=5, seed=9)\n"
+            "print(config_fingerprint(c))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="321",
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        out = subprocess.run([sys.executable, "-c", script], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == config_fingerprint(config)
+
+
+class TestCampaignStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "store"))
+        fp = fingerprint("result", {"k": 1})
+        assert store.get(fp) is None
+        store.put(fp, "result", {"payload": 42})
+        assert store.get(fp) == {"payload": 42}
+        assert (store.hits, store.misses) == (1, 1)
+        assert fp in store and len(store) == 1
+        assert store.stats() == "store: 1 hit(s), 1 miss(es), 1 entry"
+
+    def test_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "store")
+        CampaignStore(root).put("ab" + "0" * 62, "result", [1, 2])
+        assert CampaignStore(root).get("ab" + "0" * 62) == [1, 2]
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "store"))
+        fps = [fingerprint("result", i) for i in range(5)]
+        for i, fp in enumerate(fps):
+            store.put(fp, "result", i)
+        assert store.prune(max_entries=2) == 3
+        assert list(store.fingerprints()) == fps[3:]
+
+    def test_gc_rebuilds_lost_index_and_drops_orphans(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = CampaignStore(root)
+        fp = fingerprint("result", "x")
+        store.put(fp, "result", {"v": 1})
+        os.remove(os.path.join(root, "index.json"))
+        reopened = CampaignStore(root)  # self-heals by rescanning objects
+        assert reopened.get(fp) == {"v": 1}
+        # Object file vanishing behind the index degrades to a miss.
+        os.remove(os.path.join(root, "objects", fp[:2], fp + ".json"))
+        assert reopened.get(fp) is None
+        assert fp not in reopened
+
+    def test_torn_index_is_rebuilt(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = CampaignStore(root)
+        fp = fingerprint("result", "y")
+        store.put(fp, "result", 7)
+        with open(os.path.join(root, "index.json"), "w") as handle:
+            handle.write('{"next-seq": 1, "entr')  # kill mid-write
+        assert CampaignStore(root).get(fp) == 7
+
+
+class TestCampaignJournal:
+    def test_append_load_roundtrip(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        journal.append({"type": "begin", "fingerprint": "f"})
+        journal.append({"type": "generation", "generation": 1})
+        assert [r["type"] for r in journal.load()] == ["begin", "generation"]
+        assert journal.last("generation")["generation"] == 1
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.append({"type": "begin"})
+        with open(path, "a") as handle:
+            handle.write('{"type": "generat')  # kill mid-append
+        assert [r["type"] for r in journal.load()] == ["begin"]
+        assert journal.last("generation") is None
+
+
+class TestResultRoundTrip:
+    def test_testresult_roundtrips_through_json(self):
+        result = run_scenario(nic="cx5", verb="write", num_msgs=2,
+                              message_size=4096, seed=3)
+        data = json.loads(json.dumps(encode_result(result)))
+        assert decode_result(data) == result
+
+    def test_roundtrip_preserves_retry_attempts(self):
+        base = run_scenario(nic="cx5", num_msgs=1, message_size=1024)
+        attempt = AttemptRecord(attempt=1, integrity=base.integrity,
+                                trace_packets=len(base.trace),
+                                dumper_discards=2, duration_ns=10_000,
+                                backoff_ns=500)
+        result = dataclasses.replace(base, attempts=[attempt])
+        restored = decode_result(json.loads(json.dumps(encode_result(result))))
+        assert restored == result
+        assert restored.attempts == [attempt]
+
+    def test_save_and_load_result_file(self, tmp_path):
+        result = run_scenario(nic="cx5", num_msgs=1, message_size=1024)
+        path = save_result(result, str(tmp_path / "result.json"))
+        assert load_result(path) == result
+
+    def test_score_roundtrip(self):
+        from repro.core.fuzz.score import score_result
+
+        score = score_result(run_scenario(nic="cx5", num_msgs=1,
+                                          message_size=1024))
+        assert decode_score(json.loads(json.dumps(encode_score(score)))) \
+            == score
+
+    @pytest.mark.parametrize("outcome", list(Outcome))
+    def test_check_result_roundtrip_all_outcomes(self, outcome):
+        check = CheckResult(name="gbn-compliance",
+                            passed=outcome is Outcome.PASS,
+                            detail="capture gap", outcome=outcome)
+        restored = decode_check_result(
+            json.loads(json.dumps(encode_check_result(check))))
+        assert restored == check
+        assert restored.outcome is outcome
