@@ -13,6 +13,8 @@ Commands:
 * ``nics``                — list the built-in NIC behaviour profiles.
 * ``example-config``      — print a ready-to-edit JSON config.
 * ``telemetry-report <dir>`` — summarize a ``--telemetry`` output dir.
+* ``coverage-report <path>`` — summarize or diff ``--coverage`` output
+  (a ``coverage.json``, its directory, or a campaign store).
 * ``lint``                — determinism & spawn-safety static analysis
   over the testbed sources (see :mod:`repro.lint`).
 
@@ -29,6 +31,11 @@ same thing, with the same defaults, everywhere they apply:
 * ``--telemetry DIR`` executes with telemetry enabled and writes a
   Chrome trace (``trace.json``), Prometheus metrics (``metrics.prom``)
   and span JSONL (``events.jsonl``) into DIR on completion.
+* ``--coverage DIR`` records micro-behavior coverage (which protocol
+  state-machine edges, switch pipeline branches and DCQCN transitions
+  the campaign exercised) into ``DIR/coverage.json``, plus a
+  flight-recorder dump per failing/inconclusive/retried unit of work.
+  The map is deterministic: byte-identical for any ``--workers`` value.
 * ``--measurement-faults SCENARIO`` stresses the measurement plane
   (mirror links, dumper rings) with a named deterministic fault
   scenario (see :mod:`repro.faults.scenarios`); the §3.5 integrity
@@ -124,6 +131,27 @@ def _emit_report(report: str, output: Optional[str]) -> None:
         print(f"report written to {output}")
 
 
+def _write_flight_dumps(args: argparse.Namespace,
+                        records: List[Tuple[str, str, List[list]]]) -> None:
+    """Persist anomaly flight-recorder dumps next to the coverage map.
+
+    ``records`` is ``[(name, trigger, timeline-entries), ...]`` — one
+    dump per failing/inconclusive/retried unit of work. No-op without
+    ``--coverage``.
+    """
+    coverage_dir = getattr(args, "coverage", None)
+    if not coverage_dir or not records:
+        return
+    from .coverage.report import flight_dump_name, render_flight_record
+
+    os.makedirs(coverage_dir, exist_ok=True)
+    for name, trigger, entries in records:
+        path = os.path.join(coverage_dir, flight_dump_name(name))
+        with open(path, "w") as handle:
+            handle.write(render_flight_record(entries, name, trigger))
+        print(f"flight record written to {path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _load_config(args.config, args.seed)
     if args.measurement_faults:
@@ -133,6 +161,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     store = _campaign_store(args)
     result = run_test(config, store=store)
     _emit_report(render_report(result), args.output)
+    if result.flight_record:
+        trigger = ("integrity-retry" if result.integrity.ok
+                   else "integrity-fail")
+        _write_flight_dumps(args, [(f"run-seed{config.seed}", trigger,
+                                    result.flight_record)])
     if store is not None:
         print(store.stats())
     return 0 if result.ok else 1
@@ -172,6 +205,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
              f"findings: {len(report.findings)}  "
              f"invalid: {report.invalid_runs}"]
     lines.extend("  " + finding.summary() for finding in report.findings)
+    if report.coverage_growth:
+        lines.append("coverage growth:")
+        lines.extend(
+            f"  gen {row['generation']:>3d}: +{row['new-points']} point(s), "
+            f"{row['total-points']} total"
+            for row in report.coverage_growth)
     _emit_report("\n".join(lines) + "\n", args.output)
     if store is not None:
         print(store.stats())
@@ -188,6 +227,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
                                  faults=args.measurement_faults or None,
                                  store=store)
     _emit_report(card.render(), args.output)
+    _write_flight_dumps(args, [
+        (check.name, check.outcome.value if check.outcome else "FAIL",
+         check.flight_record)
+        for check in card.results if check.flight_record
+    ])
     if store is not None:
         print(store.stats())
     return 0 if card.all_passed else 1
@@ -254,6 +298,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from .exec import ParallelRunner, TaskOutcome
     from .exec.tasks import run_summary_task
 
+    from .coverage import runtime as coverage_runtime
+
+    cov = coverage_runtime.active()
     store = _campaign_store(args)
     outcomes: List[Optional[TaskOutcome]] = [None] * len(configs)
     fps: List[Optional[str]] = [None] * len(configs)
@@ -261,9 +308,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if store is not None:
         from .store.fingerprint import config_fingerprint
 
+        extra = {"coverage": True} if cov is not None else None
         pending = []
         for i, config in enumerate(configs):
-            fps[i] = config_fingerprint(config, kind="summary")
+            fps[i] = config_fingerprint(config, kind="summary", extra=extra)
             cached = store.get(fps[i])
             if cached is not None:
                 outcomes[i] = TaskOutcome(index=i, ok=True, value=cached,
@@ -287,6 +335,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             if store is not None and outcome.ok:
                 store.put(fps[i], "summary", outcome.value)
     elapsed = time.perf_counter() - started
+
+    if cov is not None:
+        # Summaries carry each run's coverage; fold in cell order. An
+        # in-process (fallback or workers=1) run already merged via
+        # run_test, so only pool-executed and cached cells fold here.
+        for outcome in outcomes:
+            if (outcome is not None and outcome.ok
+                    and not outcome.ran_in_process
+                    and isinstance(outcome.value, dict)
+                    and outcome.value.get("coverage")):
+                cov.merge_snapshot(outcome.value["coverage"])
 
     report, failures = _sweep_report(cells, outcomes)
     _emit_report(report, args.output)
@@ -356,6 +415,31 @@ def cmd_example_config(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_coverage_report(args: argparse.Namespace) -> int:
+    from .coverage.report import (load_points, render_coverage,
+                                  render_coverage_json, render_diff)
+
+    try:
+        points = load_points(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.diff:
+        try:
+            other = load_points(args.diff)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _emit_report(render_diff(points, other, args.path, args.diff),
+                     args.output)
+        return 0
+    if args.json:
+        _emit_report(render_coverage_json(points), args.output)
+    else:
+        _emit_report(render_coverage(points, title=args.path), args.output)
+    return 0
+
+
 def cmd_telemetry_report(args: argparse.Namespace) -> int:
     from .telemetry.report import render_summary
 
@@ -391,6 +475,10 @@ def _common_parser() -> argparse.ArgumentParser:
                             "commands ignore it)")
     group.add_argument("--telemetry", metavar="DIR", default=None,
                        help="collect runtime telemetry and export to DIR")
+    group.add_argument("--coverage", metavar="DIR", default=None,
+                       help="record micro-behavior coverage and write "
+                            "DIR/coverage.json (plus flight-recorder "
+                            "dumps for failing runs)")
     group.add_argument("--measurement-faults", metavar="SCENARIO",
                        default=None, choices=_fault_scenario_names(),
                        help="inject measurement-plane faults "
@@ -497,6 +585,22 @@ def build_parser() -> argparse.ArgumentParser:
     telreport_p.add_argument("dir")
     telreport_p.set_defaults(func=cmd_telemetry_report)
 
+    covreport_p = sub.add_parser(
+        "coverage-report",
+        help="summarize or diff --coverage output (a coverage.json, "
+             "its directory, or a campaign store)")
+    covreport_p.add_argument("path",
+                             help="coverage.json file, a --coverage/"
+                                  "--campaign directory, or a store root")
+    covreport_p.add_argument("--diff", metavar="OTHER", default=None,
+                             help="report points hit in exactly one of "
+                                  "the two coverage sources")
+    covreport_p.add_argument("--json", action="store_true",
+                             help="emit the per-domain summary as JSON")
+    covreport_p.add_argument("--output", "-o", metavar="FILE", default=None,
+                             help="also write the report to FILE")
+    covreport_p.set_defaults(func=cmd_coverage_report)
+
     sub.add_parser(
         "lint",
         help="determinism & spawn-safety static analysis "
@@ -514,13 +618,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     telemetry_dir = getattr(args, "telemetry", None)
-    if telemetry_dir is None:
+    coverage_dir = getattr(args, "coverage", None)
+    if telemetry_dir is None and coverage_dir is None:
         return args.func(args)
+    from .coverage import runtime as coverage
     from .telemetry import runtime as telemetry
 
-    telemetry.enable(telemetry_dir)
+    if telemetry_dir is not None:
+        telemetry.enable(telemetry_dir)
+    if coverage_dir is not None:
+        coverage.enable(coverage_dir)
     try:
         status = args.func(args)
+        cov = coverage.active()
+        if cov is not None:
+            from .coverage.domains import known_point_count
+            from .coverage.report import export_coverage
+
+            points = cov.total_snapshot()
+            if telemetry.active() is not None:
+                # Headline gauges for `telemetry-report`, published
+                # before the telemetry export below snapshots them.
+                tel = telemetry.current()
+                tel.gauge("coverage_domains_hit").set(
+                    len({row[0] for row in points}))
+                tel.gauge("coverage_points_hit").set(len(points))
+                tel.gauge("coverage_points_known").set(known_point_count())
+            path = export_coverage(points, coverage_dir)
+            print(f"coverage written to {path} ({len(points)} points)")
         session = telemetry.active()
         if session is not None:
             paths = session.export()
@@ -528,7 +653,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"telemetry written to {telemetry_dir} ({', '.join(names)})")
         return status
     finally:
-        telemetry.disable()
+        if coverage_dir is not None:
+            coverage.disable()
+        if telemetry_dir is not None:
+            telemetry.disable()
 
 
 if __name__ == "__main__":

@@ -32,6 +32,8 @@ if TYPE_CHECKING:  # avoid a runtime core -> exec/store import cycle
     from ...exec.runner import ParallelRunner
     from ...store.index import CampaignStore
 
+from ...coverage import runtime as coverage
+from ...coverage.map import CoverageMap
 from ...sim.rng import SimRandom
 from ...telemetry import runtime as telemetry
 from ..config import TestConfig, TrafficConfig
@@ -65,6 +67,11 @@ class FuzzReport:
     invalid_runs: int = 0
     findings: List[FuzzFinding] = field(default_factory=list)
     pool_scores: List[float] = field(default_factory=list)
+    #: Per-generation coverage growth rows ({generation, new-points,
+    #: total-points}); empty when coverage was disabled.
+    coverage_growth: List[dict] = field(default_factory=list)
+    #: Cumulative campaign coverage snapshot; None when disabled.
+    coverage: Optional[List[list]] = None
 
     @property
     def found_anomaly(self) -> bool:
@@ -102,6 +109,9 @@ class LuminaFuzzer:
         # so each lookup is O(1) instead of statistics.median's sort.
         self._pool_scores: List[float] = sorted([0.0] * len(self.pool))
         self._next_seed = seed * 1_000_003 + 7
+        # Cumulative campaign coverage; fed in candidate order from the
+        # compact scores, so it grows identically for any worker count.
+        self._coverage = CoverageMap()
 
     def _default_pool(self) -> List[TrafficConfig]:
         base = self.base_config.traffic
@@ -140,12 +150,15 @@ class LuminaFuzzer:
         per-iteration seed counter, the evolved pool and its sorted
         score list are the only mutable state the loop reads.
         """
-        return {
+        state = {
             "rng": self.rng.getstate(),
             "next-seed": self._next_seed,
             "pool": [t.to_dict() for t in self.pool],
             "pool-scores": list(self._pool_scores),
         }
+        if len(self._coverage):
+            state["coverage-map"] = self._coverage.snapshot()
+        return state
 
     def load_state(self, state: Dict) -> None:
         """Restore a :meth:`state_dict` checkpoint (journal resume)."""
@@ -153,6 +166,8 @@ class LuminaFuzzer:
         self._next_seed = state["next-seed"]
         self.pool = [TrafficConfig.from_dict(t) for t in state["pool"]]
         self._pool_scores = list(state["pool-scores"])
+        self._coverage = CoverageMap.from_snapshot(
+            state.get("coverage-map", []))
 
     def _campaign_fingerprint(self, batch_size: int) -> str:
         """Address of this campaign: base config + every fuzzing knob.
@@ -162,14 +177,18 @@ class LuminaFuzzer:
         """
         from ...store.fingerprint import config_fingerprint
 
-        return config_fingerprint(self.base_config, kind="fuzz-campaign", extra={
+        extra = {
             "fuzzer-seed": self.seed,
             "weights": self.weights,
             "keep-probability": self.keep_probability,
             "anomaly-threshold": self.anomaly_threshold,
             "batch-size": batch_size,
             "initial-pool": [t.to_dict() for t in self.pool],
-        })
+        }
+        if coverage.active() is not None:
+            extra["coverage"] = True
+        return config_fingerprint(self.base_config, kind="fuzz-campaign",
+                                  extra=extra)
 
     # ------------------------------------------------------------------
     # Batch phases
@@ -204,6 +223,7 @@ class LuminaFuzzer:
         invalid run.
         """
         tel = telemetry.current()
+        cov = coverage.active()
         scores: List[Optional[Score]] = [None] * len(batch)
         pending = list(range(len(batch)))
         fps: List[Optional[str]] = [None] * len(batch)
@@ -211,13 +231,19 @@ class LuminaFuzzer:
             from ...store.fingerprint import config_fingerprint
             from ...store.serialize import decode_score
 
+            extra: Dict = {"weights": self.weights}
+            if cov is not None:
+                extra["coverage"] = True
             pending = []
             for i, (_, config) in enumerate(batch):
-                fps[i] = config_fingerprint(
-                    config, kind="score", extra={"weights": self.weights})
+                fps[i] = config_fingerprint(config, kind="score", extra=extra)
                 cached = store.get(fps[i])
                 if cached is not None:
                     scores[i] = decode_score(cached)
+                    if cov is not None and scores[i].coverage:
+                        # Replayed runs never touch run_test, so their
+                        # coverage folds into the session here.
+                        cov.merge_snapshot(scores[i].coverage)
                 else:
                     pending.append(i)
         if runner is not None:
@@ -232,6 +258,14 @@ class LuminaFuzzer:
                     ])
                     for i, outcome in zip(pending, outcomes):
                         scores[i] = outcome.value if outcome.ok else None
+                        if (cov is not None and scores[i] is not None
+                                and scores[i].coverage
+                                and not outcome.ran_in_process):
+                            # Pool workers merge into their own private
+                            # session; fold into the parent's here. An
+                            # in-process fallback already merged via
+                            # run_test — folding again would double it.
+                            cov.merge_snapshot(scores[i].coverage)
                     span.set(failed=sum(1 for i in pending
                                         if scores[i] is None))
         else:
@@ -245,6 +279,10 @@ class LuminaFuzzer:
                                    iteration=first_iteration + i) as span:
                     result = self._run(config)
                     score = score_result(result, self.weights)
+                    # run_test already merged this run into the session;
+                    # the score just carries the snapshot for the
+                    # fuzzer's cumulative map and the store.
+                    score.coverage = result.coverage
                     span.set(score=round(score.total, 3), valid=score.valid)
                 scores[i] = score
         if store is not None:
@@ -343,6 +381,19 @@ class LuminaFuzzer:
                     min(batch_size, iterations - completed))
                 scores = self._score_batch(batch, runner, completed + 1,
                                            store)
+                if coverage.active() is not None:
+                    # Coverage growth: fold each candidate's map into
+                    # the cumulative campaign map, in candidate order.
+                    before = len(self._coverage)
+                    for score in scores:
+                        if score is not None and score.coverage:
+                            self._coverage.merge_snapshot(score.coverage)
+                    report.coverage_growth.append({
+                        "generation": len(report.coverage_growth) + 1,
+                        "new-points": len(self._coverage) - before,
+                        "total-points": len(self._coverage),
+                    })
+                    report.coverage = self._coverage.snapshot()
                 # Step 4: selection — sequential, in candidate order, so
                 # every RNG draw happens on the parent's single stream.
                 for offset, ((candidate, _), score) in enumerate(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import log10
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..analyzers.base import AnalyzerContext
 from ..analyzers.registry import get_analyzer
@@ -45,6 +45,10 @@ class Score:
     valid: bool = True
     components: Dict[str, float] = field(default_factory=dict)
     anomalies: List[str] = field(default_factory=list)
+    #: Micro-behavior coverage of the scored run (snapshot rows); rides
+    #: on the compact score across the process boundary so the fuzzer's
+    #: cumulative map is worker-count independent. None when disabled.
+    coverage: Optional[List[list]] = None
 
     def add(self, name: str, value: float, detail: str = "") -> None:
         if value <= 0:

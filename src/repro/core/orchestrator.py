@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, List, Optional
 if TYPE_CHECKING:  # avoid a runtime core -> store import cycle
     from ..store.index import CampaignStore
 
+from ..coverage import runtime as coverage
 from ..switch.events import RewriteRule
 from ..telemetry import runtime as telemetry
 from ..telemetry.instrument import attach_testbed
@@ -81,37 +82,52 @@ class Orchestrator:
         m_retries = session.counter("run_retries")
         m_integrity_failures = session.counter("run_integrity_failures")
         policy = self.config.retry
-        attempts: List[AttemptRecord] = []
-        backoff = 0
-        result: TestResult
-        while True:
-            attempt = len(attempts) + 1
-            if attempt > 1:
-                m_retries.inc()
-                self.testbed = build_testbed(self.config, attempt=attempt)
-                self.session = TrafficSession(self.testbed,
-                                              self.config.traffic)
-                if backoff:
-                    # Idle the fresh simulation through the backoff so the
-                    # retried trace's timestamps reflect the wait.
-                    self.testbed.sim.run_for(backoff)
-            result = self._run_attempt()
-            record = AttemptRecord(
-                attempt=attempt,
-                integrity=result.integrity,
-                trace_packets=len(result.trace),
-                dumper_discards=result.dumper_discards,
-                duration_ns=result.duration_ns,
-            )
-            attempts.append(record)
-            if result.integrity.ok:
-                break
-            m_integrity_failures.inc()
-            if attempt >= policy.max_attempts:
-                break
-            backoff = policy.backoff_for(attempt)
-            record.backoff_ns = backoff
+        cov = coverage.active()
+        if cov is not None:
+            cov.push_scope()
+        try:
+            attempts: List[AttemptRecord] = []
+            backoff = 0
+            result: TestResult
+            while True:
+                attempt = len(attempts) + 1
+                if attempt > 1:
+                    m_retries.inc()
+                    self.testbed = build_testbed(self.config, attempt=attempt)
+                    self.session = TrafficSession(self.testbed,
+                                                  self.config.traffic)
+                    if backoff:
+                        # Idle the fresh simulation through the backoff so the
+                        # retried trace's timestamps reflect the wait.
+                        self.testbed.sim.run_for(backoff)
+                if cov is not None:
+                    # Each attempt gets a clean flight-recorder timeline;
+                    # only the final attempt's rings survive onto the result.
+                    cov.reset_recorders()
+                result = self._run_attempt()
+                record = AttemptRecord(
+                    attempt=attempt,
+                    integrity=result.integrity,
+                    trace_packets=len(result.trace),
+                    dumper_discards=result.dumper_discards,
+                    duration_ns=result.duration_ns,
+                )
+                attempts.append(record)
+                if result.integrity.ok:
+                    break
+                m_integrity_failures.inc()
+                if attempt >= policy.max_attempts:
+                    break
+                backoff = policy.backoff_for(attempt)
+                record.backoff_ns = backoff
+        finally:
+            if cov is not None:
+                run_map = cov.pop_scope()
         result.attempts = attempts
+        if cov is not None:
+            result.coverage = run_map.snapshot()
+            if len(attempts) > 1 or not result.integrity.ok:
+                result.flight_record = cov.flight_snapshot()
         if telemetry.active() is not None:
             session.gauge("run_attempts").set(len(attempts))
         return result
@@ -221,19 +237,30 @@ def run_test(config: TestConfig,
     cached run is replayed — full trace included — instead of
     simulating again; fresh results are written back. Rewrite rules
     are extra-config state, so rewrite-rule runs bypass the store.
+
+    With coverage enabled, the run's coverage snapshot rides on the
+    result and is merged into the live session map here — the same
+    single merge point for fresh, cached and pool-executed runs, which
+    is what keeps campaign maps byte-identical across worker counts.
     """
+    cov = coverage.active()
     if store is not None and not rewrite_rules:
         from ..store.fingerprint import config_fingerprint
         from ..store.serialize import decode_result, encode_result
 
-        fp = config_fingerprint(config, kind="result")
+        extra = {"coverage": True} if cov is not None else None
+        fp = config_fingerprint(config, kind="result", extra=extra)
         cached = store.get(fp)
         if cached is not None:
-            return decode_result(cached)
-        result = Orchestrator(config).run()
-        store.put(fp, "result", encode_result(result))
-        return result
-    return Orchestrator(config, rewrite_rules=rewrite_rules).run()
+            result = decode_result(cached)
+        else:
+            result = Orchestrator(config).run()
+            store.put(fp, "result", encode_result(result))
+    else:
+        result = Orchestrator(config, rewrite_rules=rewrite_rules).run()
+    if cov is not None and result.coverage:
+        cov.merge_snapshot(result.coverage)
+    return result
 
 
 def run_tests(configs: List[TestConfig], workers: int = 1,
@@ -255,6 +282,7 @@ def run_tests(configs: List[TestConfig], workers: int = 1,
     """
     if workers <= 1:
         return [run_test(config, store=store) for config in configs]
+    cov = coverage.active()
     results: List[Optional[TestResult]] = [None] * len(configs)
     pending = list(range(len(configs)))
     fps: List[Optional[str]] = [None] * len(configs)
@@ -262,14 +290,16 @@ def run_tests(configs: List[TestConfig], workers: int = 1,
         from ..store.fingerprint import config_fingerprint
         from ..store.serialize import decode_result
 
+        extra = {"coverage": True} if cov is not None else None
         pending = []
         for i, config in enumerate(configs):
-            fps[i] = config_fingerprint(config, kind="result")
+            fps[i] = config_fingerprint(config, kind="result", extra=extra)
             cached = store.get(fps[i])
             if cached is not None:
                 results[i] = decode_result(cached)
             else:
                 pending.append(i)
+    merged_in_process = set()
     if pending:
         from ..exec import ParallelRunner
         from ..exec.tasks import run_config_task
@@ -291,4 +321,18 @@ def run_tests(configs: List[TestConfig], workers: int = 1,
         else:
             for i, outcome in zip(pending, outcomes):
                 results[i] = outcome.value
+        for i, outcome in zip(pending, outcomes):
+            if outcome.ran_in_process:
+                # The fallback ran run_test in this process, which
+                # already merged its coverage into the session.
+                merged_in_process.add(i)
+    if cov is not None:
+        # Same merge route as run_test, in config order: worker-local
+        # maps ride on each result and fold here, so any worker count
+        # produces an identical session map.
+        for i, result in enumerate(results):
+            if i in merged_in_process:
+                continue
+            if result is not None and result.coverage:
+                cov.merge_snapshot(result.coverage)
     return results  # type: ignore[return-value]

@@ -149,4 +149,23 @@ def render_report(result: TestResult) -> str:
         lines.append(f"{host.host} ({host.nic_type}): "
                      + (", ".join(shown) if shown else "all quiet"))
 
+    if result.coverage is not None:
+        # Conditional section: coverage-off reports stay byte-identical
+        # to the pre-coverage format.
+        from ..coverage.domains import DOMAINS
+        from ..coverage.report import summarize_points
+
+        lines += _section("Micro-behavior coverage")
+        summary = summarize_points(result.coverage)
+        for domain in sorted(DOMAINS):
+            row = summary.get(domain)
+            hit = row["hit"] if row else 0
+            known = row["known"] if row else len(DOMAINS[domain])
+            hits = row["hits"] if row else 0
+            lines.append(f"{domain:<18s} {hit:>3d}/{known:<3d} points, "
+                         f"{hits} hit(s)")
+        if result.flight_record:
+            lines.append(f"flight record: {len(result.flight_record)} "
+                         f"event(s) captured (see --coverage dump)")
+
     return "\n".join(lines) + "\n"

@@ -9,7 +9,7 @@ a single :class:`TestResult` the analyzers consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .config import TestConfig
 from .intent import QpMetadata
@@ -80,6 +80,12 @@ class TestResult:
     attempts: List[AttemptRecord] = field(default_factory=list)
     #: Per-server, per-core dumper stats from the final attempt.
     dumper_core_stats: Dict[str, List[dict]] = field(default_factory=dict)
+    #: Micro-behavior coverage snapshot (``CoverageMap.snapshot()`` rows)
+    #: for this run; None when coverage was disabled.
+    coverage: Optional[List[list]] = None
+    #: Flight-recorder timeline of the final attempt; attached only when
+    #: the run failed integrity or needed an integrity-driven retry.
+    flight_record: Optional[List[list]] = None
 
     @property
     def ok(self) -> bool:

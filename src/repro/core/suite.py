@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # avoid a runtime core -> exec/store import cycle
     from ..faults.scenarios import FaultScenario
     from ..store.index import CampaignStore
 
+from ..coverage import runtime as coverage
 from .analyzers.base import AnalyzerContext, AnalyzerResult, Outcome
 from .analyzers.cnp import min_cnp_interval_ns
 from .analyzers.goodput import per_qp_goodput_gbps, split_mct
@@ -58,7 +59,8 @@ from .orchestrator import run_test
 from .results import TestResult
 
 __all__ = ["Outcome", "CheckResult", "Scorecard", "COVERAGE",
-           "run_conformance_suite", "CHECKS", "DEFAULT_SUITE_SEED"]
+           "run_conformance_suite", "run_single_check", "CHECKS",
+           "DEFAULT_SUITE_SEED"]
 
 #: The battery's canonical seed. Every front-end (CLI, api facade,
 #: examples) that wants "the standard scorecard" resolves a missing
@@ -83,6 +85,12 @@ class CheckResult:
     passed: bool
     detail: str
     outcome: Optional[Outcome] = None
+    #: Micro-behavior coverage recorded while this check ran (snapshot
+    #: rows); None when coverage was disabled.
+    coverage: Optional[List[list]] = None
+    #: Flight-recorder timeline, attached only when the check did not
+    #: PASS (FAIL or INCONCLUSIVE verdicts get a dump, §3.5 spirit).
+    flight_record: Optional[List[list]] = None
 
     def __post_init__(self) -> None:
         if self.outcome is None:
@@ -524,13 +532,43 @@ def _check_fingerprint(name: str, nic: str, seed: int,
     from ..rdma.profiles import PROFILES
     from ..store.fingerprint import canonicalize, fingerprint
 
-    return fingerprint("check", {
+    payload = {
         "check": name,
         "nic": nic.lower(),
         "seed": seed,
         "faults": canonicalize(scenario),
         "profile": canonicalize(PROFILES[nic.lower()]),
-    })
+    }
+    if coverage.active() is not None:
+        # Coverage-annotated verdicts live at their own address, so a
+        # coverage-off replay never serves a map-less cached verdict.
+        payload["coverage"] = True
+    return fingerprint("check", payload)
+
+
+def run_single_check(name: str, nic: str, seed: int,
+                     scenario: Optional["FaultScenario"] = None,
+                     ) -> CheckResult:
+    """Run one battery check, recording coverage when enabled.
+
+    The single execution path for serial suites and pool workers alike:
+    the check runs inside its own coverage scope, whose snapshot rides
+    on the :class:`CheckResult`. A non-PASS verdict additionally carries
+    the flight-recorder timeline for the anomaly dump.
+    """
+    cov = coverage.active()
+    if cov is None:
+        return CHECKS[name](nic, seed, scenario)
+    cov.reset_recorders()
+    cov.push_scope()
+    try:
+        result = CHECKS[name](nic, seed, scenario)
+    finally:
+        check_map = cov.pop_scope()
+    result.coverage = check_map.snapshot()
+    if result.outcome is not Outcome.PASS:
+        result.flight_record = cov.flight_snapshot()
+    return result
 
 
 def run_conformance_suite(nic: str, seed: Optional[int] = None,
@@ -596,7 +634,7 @@ def run_conformance_suite(nic: str, seed: Optional[int] = None,
 
     if pending and workers <= 1 and runner is None:
         for name in pending:
-            _record(name, CHECKS[name](nic, seed, scenario), True)
+            _record(name, run_single_check(name, nic, seed, scenario), True)
     elif pending:
         from ..exec import ParallelRunner
         from ..exec.tasks import run_check_task
@@ -626,4 +664,12 @@ def run_conformance_suite(nic: str, seed: Optional[int] = None,
                 _record(name, CheckResult(
                     name, False, f"execution failed: {outcome.error}"), False)
     card.results = [results[name] for name in selected]
+    cov = coverage.active()
+    if cov is not None:
+        # Fold each check's map into the session in battery order — the
+        # same route for serial, pooled and store-replayed verdicts, so
+        # the session map is byte-identical for any worker count.
+        for check in card.results:
+            if check.coverage:
+                cov.merge_snapshot(check.coverage)
     return card

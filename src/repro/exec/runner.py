@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..coverage import runtime as coverage
 from ..telemetry import runtime as telemetry
 from . import worker as worker_mod
 
@@ -239,6 +240,7 @@ class ParallelRunner:
         outcomes: List[Optional[TaskOutcome]] = [None] * n
         session = telemetry.active()
         collect = session is not None and self.workers > 1
+        collect_cov = coverage.active() is not None and self.workers > 1
 
         pending = list(range(n))
         attempts = [0] * n
@@ -252,7 +254,7 @@ class ParallelRunner:
                 break
             futures = {
                 i: pool.submit(worker_mod.invoke, self.task_fn,
-                               payloads[i], collect)
+                               payloads[i], collect, collect_cov)
                 for i in pending
             }
             next_pending: List[int] = []

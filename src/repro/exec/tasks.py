@@ -43,7 +43,12 @@ def score_config_task(payload: Dict[str, Any]):
     from ..core.orchestrator import run_test
 
     result = run_test(payload["config"])
-    return score_result(result, payload["weights"])
+    score = score_result(result, payload["weights"])
+    if result.coverage is not None:
+        # Ride the run's coverage on the compact score so the fuzzer's
+        # cumulative map grows identically for any worker count.
+        score.coverage = result.coverage
+    return score
 
 
 def run_check_task(payload: Dict[str, Any]):
@@ -54,14 +59,15 @@ def run_check_task(payload: Dict[str, Any]):
     :class:`~repro.faults.scenarios.FaultScenario` — to run the check
     under injected capture faults.
     """
-    from ..core.suite import CHECKS
+    from ..core.suite import run_single_check
 
     faults = payload.get("faults")
     if isinstance(faults, str):
         from ..faults.scenarios import get_scenario
 
         faults = get_scenario(faults)
-    return CHECKS[payload["check"]](payload["nic"], payload["seed"], faults)
+    return run_single_check(payload["check"], payload["nic"],
+                            payload["seed"], faults)
 
 
 def run_config_task(payload: Dict[str, Any]):
@@ -83,7 +89,7 @@ def summarize_result(result) -> Dict[str, Any]:
     identically — a prerequisite for byte-identical sweep reports.
     """
     log = result.traffic_log
-    return {
+    summary = {
         "ok": result.ok,
         "integrity_ok": result.integrity.ok,
         "attempts": result.attempts_used,
@@ -95,6 +101,11 @@ def summarize_result(result) -> Dict[str, Any]:
             "retransmitted_packets"]),
         "timeouts": int(result.requester_counters["local_ack_timeout_err"]),
     }
+    # Only present when recorded, so coverage-off sweeps summarise
+    # byte-identically to before.
+    if result.coverage is not None:
+        summary["coverage"] = result.coverage
+    return summary
 
 
 def run_summary_task(payload: Dict[str, Any]) -> Dict[str, Any]:

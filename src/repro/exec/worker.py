@@ -32,19 +32,36 @@ def init_worker() -> None:
 
 
 def invoke(task_fn: Callable[[Any], Any], payload: Any,
-           collect_telemetry: bool) -> Tuple[Any, Optional[list]]:
-    """Run one task, optionally under a worker-local telemetry session.
+           collect_telemetry: bool,
+           collect_coverage: bool = False) -> Tuple[Any, Optional[list]]:
+    """Run one task, optionally under worker-local observability sessions.
 
     Returns ``(value, metrics_snapshot_or_None)``. Raises whatever the
     task raises — the parent maps exceptions to error outcomes.
-    """
-    if not collect_telemetry:
-        return task_fn(payload), None
-    from ..telemetry import runtime as telemetry
 
-    session = telemetry.enable(None)
+    With ``collect_coverage`` a private coverage session is active for
+    the task's duration; coverage data crosses the process boundary on
+    the task's *return value* (results/scores/check verdicts carry
+    their own snapshots), so nothing coverage-related is added to the
+    return tuple.
+    """
+    if collect_coverage:
+        from ..coverage import runtime as coverage
+
+        coverage.enable()
     try:
-        value = task_fn(payload)
-        return value, session.registry.snapshot()
+        if not collect_telemetry:
+            return task_fn(payload), None
+        from ..telemetry import runtime as telemetry
+
+        session = telemetry.enable(None)
+        try:
+            value = task_fn(payload)
+            return value, session.registry.snapshot()
+        finally:
+            telemetry.disable()
     finally:
-        telemetry.disable()
+        if collect_coverage:
+            from ..coverage import runtime as coverage
+
+            coverage.disable()

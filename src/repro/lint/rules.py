@@ -148,11 +148,11 @@ class WallClockRule(Rule):
     severity = Severity.ERROR
     description = ("wall-clock call inside simulation code "
                    "(sim/, switch/, rdma/, core/, faults/, dumper/, "
-                   "store/)")
+                   "store/, coverage/)")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not _in_dir(ctx.path, "sim", "switch", "rdma", "core",
-                       "faults", "dumper", "store"):
+                       "faults", "dumper", "store", "coverage"):
             return
         allowed: Set[str] = set()
         for suffix, callees in _DET001_SCOPED_ALLOW.items():
@@ -443,10 +443,11 @@ class SpawnSafetyRule(Rule):
 
 
 # ======================================================================
-# TEL001 — telemetry handle construction in loop bodies
+# TEL001 — telemetry/coverage handle construction in loop bodies
 # ======================================================================
-_SESSION_NAME_HINTS = {"tel", "telemetry", "session", "sess", "registry"}
-_HANDLE_FACTORIES = {"counter", "gauge", "histogram"}
+_SESSION_NAME_HINTS = {"tel", "telemetry", "session", "sess", "registry",
+                       "cov", "coverage"}
+_HANDLE_FACTORIES = {"counter", "gauge", "histogram", "domain", "recorder"}
 
 
 @register
@@ -454,8 +455,8 @@ class TelemetryHandleRule(Rule):
     code = "TEL001"
     name = "telemetry-handle-in-loop"
     severity = Severity.WARNING
-    description = ("telemetry counter()/gauge()/histogram() lookup "
-                   "inside a loop body")
+    description = ("telemetry counter()/gauge()/histogram() or coverage "
+                   "domain()/recorder() lookup inside a loop body")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         session_locals = self._session_locals(ctx)
@@ -481,7 +482,8 @@ class TelemetryHandleRule(Rule):
 
     @staticmethod
     def _session_locals(ctx: ModuleContext) -> Set[str]:
-        """Names assigned from telemetry.current()/active()/enable()."""
+        """Names assigned from telemetry/coverage current()/active()/
+        enable()."""
         names: Set[str] = set()
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Assign) or \
@@ -491,7 +493,7 @@ class TelemetryHandleRule(Rule):
             if callee is None:
                 continue
             if callee.endswith((".current", ".active", ".enable")) and \
-                    "telemetry" in callee:
+                    ("telemetry" in callee or "coverage" in callee):
                 for target in node.targets:
                     if isinstance(target, ast.Name):
                         names.add(target.id)
@@ -501,7 +503,8 @@ class TelemetryHandleRule(Rule):
     def _receiver_is_session(ctx: ModuleContext, receiver: ast.AST,
                              session_locals: Set[str]) -> bool:
         resolved = ctx.resolve(receiver)
-        if resolved is not None and "telemetry" in resolved:
+        if resolved is not None and ("telemetry" in resolved
+                                     or "coverage" in resolved):
             return True
         if isinstance(receiver, ast.Name):
             return (receiver.id in session_locals

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional
 
+from ..coverage import runtime as coverage
 from ..sim.engine import Simulator, US
 from .profiles import CnpLimitMode, RnicProfile
 
@@ -66,6 +67,7 @@ class DcqcnRp:
         # Rate-increase stage counters (timer events and byte events).
         self._timer_rounds = 0
         self._byte_rounds = 0
+        self._cov = coverage.current().domain("rdma.dcqcn")
 
     # ------------------------------------------------------------------
     def handle_cnp(self) -> None:
@@ -81,6 +83,7 @@ class DcqcnRp:
         self._timer_rounds = 0
         self._byte_rounds = 0
         self._bytes_since_update = 0
+        self._cov.hit("cnp-rate-cut", self.sim.now)
         self._restart_timers()
         self._notify()
 
@@ -92,6 +95,7 @@ class DcqcnRp:
         if self._bytes_since_update >= self.params.byte_counter_bytes:
             self._bytes_since_update = 0
             self._byte_rounds += 1
+            self._cov.hit("byte-round", self.sim.now)
             self._increase()
 
     @property
@@ -111,6 +115,7 @@ class DcqcnRp:
 
     def _alpha_decay(self) -> None:
         self.alpha = (1.0 - self.params.g) * self.alpha
+        self._cov.hit("alpha-decay", self.sim.now)
         if self.current_rate_bps < self.line_rate_bps:
             self._alpha_timer = self.sim.schedule(self.params.alpha_timer_ns, self._alpha_decay)
         else:
@@ -118,6 +123,7 @@ class DcqcnRp:
 
     def _timer_increase(self) -> None:
         self._timer_rounds += 1
+        self._cov.hit("timer-round", self.sim.now)
         self._increase()
         if self.current_rate_bps < self.line_rate_bps:
             self._increase_timer = self.sim.schedule(
@@ -134,9 +140,13 @@ class DcqcnRp:
             # Additive (or hyper) increase raises the target first.
             if min(self._timer_rounds, self._byte_rounds) > p.fast_recovery_rounds + p.hyper_threshold:
                 self.target_rate_bps += p.rhai_bps
+                self._cov.hit("hyper-increase", self.sim.now)
             else:
                 self.target_rate_bps += p.rai_bps
+                self._cov.hit("additive-increase", self.sim.now)
             self.target_rate_bps = min(self.target_rate_bps, self.line_rate_bps)
+        else:
+            self._cov.hit("fast-recovery", self.sim.now)
         # Round up so the rate actually converges onto the target
         # instead of sticking one bit below it forever.
         self.current_rate_bps = min(

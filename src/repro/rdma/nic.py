@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+from ..coverage import runtime as coverage
 from ..net.headers import Opcode, ECN_CE
 from ..net.link import Node, Port, gbps
 from ..net.packet import Packet
@@ -105,6 +106,13 @@ class RdmaNic(Node):
         self._m_rate_updates = tel.counter("nic_dcqcn_rate_updates", host=name)
         self._m_rate = tel.gauge("nic_dcqcn_rate_bps", host=name)
 
+        # Coverage handles, shared with this NIC's QPs (no-op twins when
+        # coverage is disabled — see repro.coverage).
+        cov = coverage.current()
+        self._cov_nic = cov.domain("rdma.nic")
+        self._cov_gbn = cov.domain("rdma.gbn")
+        self._rec = cov.recorder(f"nic:{name}")
+
     # ------------------------------------------------------------------
     # QP management
     # ------------------------------------------------------------------
@@ -140,6 +148,7 @@ class RdmaNic(Node):
         if self.sim.now < self._stall_until:
             # Noisy-neighbor stall: the pipeline discards everything.
             self.counters.incr("rx_discards_phy")
+            self._cov_nic.hit("stall-discard", self.sim.now)
             return
         if not packet.is_roce:
             return
@@ -147,6 +156,9 @@ class RdmaNic(Node):
         self.counters.incr("rx_bytes", packet.size)
         if not packet.icrc_ok:
             self.counters.incr("rx_icrc_errors")
+            self._cov_nic.hit("icrc-discard", self.sim.now)
+            self._rec.note(self.sim.now, "icrc-discard",
+                           f"qpn={packet.bth.dest_qp} psn={packet.bth.psn}")
             return
         if self._divert_to_migreq_slowpath(packet):
             return
@@ -184,9 +196,13 @@ class RdmaNic(Node):
                 # Context table full: the APM slow path cannot admit
                 # another new connection and the port discards.
                 self.counters.incr("rx_discards_phy")
+                self._cov_nic.hit("migreq-context-full-discard", self.sim.now)
+                self._rec.note(self.sim.now, "migreq-context-full-discard",
+                               f"qpn={packet.bth.dest_qp}")
                 return True
             self._migreq_contexts.add(packet.bth.dest_qp)
         self.migreq_slowpath_packets += 1
+        self._cov_nic.hit("migreq-slow-path", self.sim.now)
         delay = self.rng.jitter_ns(
             self.profile.rx_pipeline_ns + self.profile.migreq_slow_path_service_ns,
             self.profile.latency_jitter_frac)
@@ -209,12 +225,15 @@ class RdmaNic(Node):
     def _notification_point(self, qp: QueuePair, packet: Packet) -> None:
         """DCQCN NP: maybe generate a CNP for an ECN-marked data packet."""
         self.counters.incr("ecn_marked_packets")
+        self._cov_nic.hit("ecn-marked-rx", self.sim.now)
         if not self.dcqcn_np_enable:
             return
         if not self.cnp_limiter.allow(self.sim.now, qp.qp_num, qp.dest_ip):
+            self._cov_nic.hit("cnp-suppressed", self.sim.now)
             return
         self.counters.incr("cnp_sent")
         self._m_cnp_sent.inc()
+        self._cov_nic.hit("cnp-sent", self.sim.now)
         cnp = qp.build_cnp()
         self.sim.schedule(self.rng.jitter_ns(500, 0.2), self.send_control, cnp)
 
@@ -241,6 +260,10 @@ class RdmaNic(Node):
             self._stall_until = max(self._stall_until,
                                     now + self.profile.pipeline_stall_duration_ns)
             self.pipeline_stalls += 1
+            self._cov_nic.hit("noisy-neighbor-stall", now)
+            self._rec.note(now, "noisy-neighbor-stall",
+                           f"qps={len(distinct_qps)} "
+                           f"until={self._stall_until}")
             self._read_loss_events.clear()
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from ..net.headers import (
     UdpHeader,
     ECN_ECT0,
 )
+from ..coverage import runtime as coverage
 from ..net.packet import Packet
 from ..net.addressing import ROCEV2_UDP_PORT
 from .dcqcn import DcqcnRp
@@ -183,6 +184,12 @@ class QueuePair:
         # Per-QP statistics surfaced through the traffic generator log.
         self.bytes_completed = 0
         self.messages_completed = 0
+
+        # Coverage: GBN state-machine edges share the NIC's domain
+        # handle; the flight recorder ring is per-QP.
+        self._cov_gbn = nic._cov_gbn
+        self._rec = coverage.current().recorder(
+            f"qp:{nic.name}:{qp_num:#x}")
 
     # ------------------------------------------------------------------
     # Connection management
@@ -387,6 +394,7 @@ class QueuePair:
         """RP role: a CNP arrived for this QP."""
         self.nic.counters.incr("cnp_handled")
         self.nic._m_cnp_handled.inc()
+        self.nic._cov_nic.hit("cnp-handled", self.sim.now)
         if self.dcqcn_enabled:
             self.dcqcn.handle_cnp()
 
@@ -412,6 +420,9 @@ class QueuePair:
                 # advance its expected PSN (IB spec 9.7.5.2.8).
                 if self._recv_wqes <= 0:
                     self.nic.counters.incr("rnr_nak_sent")
+                    self._cov_gbn.hit("rnr-nak-sent", self.sim.now)
+                    self._rec.note(self.sim.now, "rnr-nak-sent",
+                                   f"psn={psn}")
                     if not self._rnr_nak_pending:
                         self._rnr_nak_pending = True
                         delay = self.nic.rng.jitter_ns(
@@ -421,6 +432,7 @@ class QueuePair:
                     return
                 self._recv_wqes -= 1
                 self._rnr_nak_pending = False
+            self._cov_gbn.hit("in-order-accept", self.sim.now)
             self.epsn = psn_add(self.epsn, 1)
             self._nak_sent_for_gap = False
             if packet.bth.opcode.is_last:
@@ -434,11 +446,15 @@ class QueuePair:
             self.nic.counters.incr("out_of_sequence")
             if not self._nak_sent_for_gap:
                 self._nak_sent_for_gap = True
+                self._cov_gbn.hit("gap-nak", self.sim.now)
+                self._rec.note(self.sim.now, "gap-nak",
+                               f"psn={psn} epsn={self.epsn}")
                 self._schedule_nak(self.epsn)
         else:
             # Duplicate from a Go-back-N replay; re-ACK so the sender
             # can make progress if our ACK was lost.
             self.nic.counters.incr("duplicate_request")
+            self._cov_gbn.hit("duplicate-request", self.sim.now)
             if packet.bth.ack_request:
                 self._schedule_ack(psn)
 
@@ -479,17 +495,24 @@ class QueuePair:
             self.epsn = psn_add(self.epsn, npkts)
             self._nak_sent_for_gap = False
             self._first_message_done = True
+            self._cov_gbn.hit("read-in-order", self.sim.now)
             self._serve_read(psn, reth.dma_length, retransmit=False)
         elif psn_geq(psn, self.epsn):
             self.nic.counters.incr("out_of_sequence")
             if not self._nak_sent_for_gap:
                 self._nak_sent_for_gap = True
+                self._cov_gbn.hit("read-gap-nak", self.sim.now)
+                self._rec.note(self.sim.now, "read-gap-nak",
+                               f"psn={psn} epsn={self.epsn}")
                 self._schedule_nak(self.epsn)
         else:
             # A re-issued (implied-NACK) or replayed Read request: serve
             # it again from the requested offset after the NACK-reaction
             # delay — this is the Fig. 9b latency.
             self.nic.counters.incr("duplicate_request")
+            self._cov_gbn.hit("read-duplicate-retransmit", self.sim.now)
+            self._rec.note(self.sim.now, "read-duplicate-retransmit",
+                           f"psn={psn}")
             delay = self.nic.rng.jitter_ns(self.profile.nack_react_read_ns,
                                            self.profile.latency_jitter_frac)
             self.sim.schedule(delay, self._serve_read, psn, reth.dma_length, True)
@@ -528,22 +551,32 @@ class QueuePair:
             return
         psn = packet.bth.psn
         if aeth.is_ack:
+            self._cov_gbn.hit("ack-advance", self.sim.now)
             self._advance_una(psn_add(psn, 1))
         elif aeth.is_rnr:
             # Receiver not ready: back off for the RNR timer, then
             # resend from the NAK'd PSN (a separate retry budget from
             # the transport retry count, per the IB spec).
             self.nic.counters.incr("rnr_nak_received")
+            self._cov_gbn.hit("rnr-nak-received", self.sim.now)
             self._advance_una(psn)
             self._rnr_retry_count += 1
             if self._rnr_retry_count > self.rnr_retry_limit:
+                self._cov_gbn.hit("rnr-retry-exceeded", self.sim.now)
+                self._rec.note(self.sim.now, "rnr-retry-exceeded",
+                               f"retries={self._rnr_retry_count}")
                 self._enter_error()
                 return
             if not self._react_pending:
                 self._react_pending = True
+                self._cov_gbn.hit("rnr-backoff", self.sim.now)
+                self._rec.note(self.sim.now, "rnr-backoff",
+                               f"psn={psn} timer={self.rnr_timer_ns}")
                 self.sim.schedule(self.rnr_timer_ns, self._rewind_to, psn, False)
         elif aeth.is_nak:
             self.nic.counters.incr("packet_seq_err")
+            self._cov_gbn.hit("nak-rewind", self.sim.now)
+            self._rec.note(self.sim.now, "nak-rewind", f"psn={psn}")
             self._advance_una(psn)  # everything before the NAK'd PSN is in
             self._schedule_rewind(psn)
 
@@ -628,6 +661,7 @@ class QueuePair:
         psn = packet.bth.psn
         expected = self._expected_resp_psn
         if psn == expected:
+            self._cov_gbn.hit("read-response-in-order", self.sim.now)
             self._read_nak_outstanding = False
             self._expected_resp_psn = psn_add(psn, 1)
             self._note_progress()
@@ -650,6 +684,9 @@ class QueuePair:
             # is the Fig. 8b latency, 83 ms on E810.
             self.nic.counters.incr("implied_nak_seq_err")
             if not self._read_nak_outstanding:
+                self._cov_gbn.hit("read-implied-nak", self.sim.now)
+                self._rec.note(self.sim.now, "read-implied-nak",
+                               f"psn={psn} expected={expected}")
                 self.nic.note_read_loss_event(self)
                 # One implied NACK per gap (mirrors the responder's
                 # one-NAK-per-gap rule); a re-dropped retransmission is
@@ -740,15 +777,20 @@ class QueuePair:
         elapsed = self.sim.now - self._last_progress
         if elapsed < timeout:
             # Progress happened since arming: re-arm for the remainder.
+            self._cov_gbn.hit("timeout-rearm", self.sim.now)
             self._timeout_event = self.sim.schedule(timeout - elapsed, self._timeout_fired)
             return
         if self._read_gap_pending or self._react_pending:
             # The NIC is already in a loss-recovery slow path; hardware
             # defers the timer until that completes.
+            self._cov_gbn.hit("timeout-deferred", self.sim.now)
             self._timeout_event = self.sim.schedule(timeout, self._timeout_fired)
             return
         self.nic.counters.incr("local_ack_timeout_err")
         self.nic._m_timeout.inc()
+        self._cov_gbn.hit("timeout-retransmit", self.sim.now)
+        self._rec.note(self.sim.now, "timeout-retransmit",
+                       f"retry={self.retry_count + 1} psn={self.snd_una}")
         if self.nic._tel is not None:
             self.nic._tel.instant(
                 "nic.retransmit", pid=self.nic.name,
@@ -757,6 +799,7 @@ class QueuePair:
         self.retry_count += 1
         self._adaptive_stage += 1
         if self.retry_count > self._allowed_retries():
+            self._cov_gbn.hit("retry-exceeded", self.sim.now)
             self._enter_error()
             return
         self._last_progress = self.sim.now
@@ -771,6 +814,9 @@ class QueuePair:
     def _enter_error(self) -> None:
         self.state = QpState.ERROR
         self.nic.counters.incr("qp_retry_exceeded")
+        self._rec.note(self.sim.now, "qp-error",
+                       f"retry={self.retry_count} "
+                       f"rnr_retry={self._rnr_retry_count}")
         self._cancel_timeout()
         self.pending_tx.clear()
         for message in self._messages:

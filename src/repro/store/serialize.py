@@ -228,7 +228,7 @@ def _decode_attempt(data: Dict) -> AttemptRecord:
 
 def encode_result(result: TestResult) -> Dict:
     """``TestResult`` → JSON-serialisable dict (see :func:`decode_result`)."""
-    return {
+    data = {
         "config": result.config.to_dict(),
         "metadata": [_encode_metadata(m) for m in result.metadata],
         "trace": _encode_trace(result.trace),
@@ -242,6 +242,13 @@ def encode_result(result: TestResult) -> Dict:
         "attempts": [_encode_attempt(a) for a in result.attempts],
         "dumper-core-stats": result.dumper_core_stats,
     }
+    # Coverage artefacts appear only when recorded, so a coverage-off
+    # encoding stays byte-identical to the pre-coverage format.
+    if result.coverage is not None:
+        data["coverage"] = result.coverage
+    if result.flight_record is not None:
+        data["flight-record"] = result.flight_record
+    return data
 
 
 def decode_result(data: Dict) -> TestResult:
@@ -259,6 +266,8 @@ def decode_result(data: Dict) -> TestResult:
         dumper_discards=data["dumper-discards"],
         attempts=[_decode_attempt(a) for a in data["attempts"]],
         dumper_core_stats=data["dumper-core-stats"],
+        coverage=data.get("coverage"),
+        flight_record=data.get("flight-record"),
     )
 
 
@@ -267,9 +276,12 @@ def decode_result(data: Dict) -> TestResult:
 # ---------------------------------------------------------------------------
 
 def encode_score(score) -> Dict:
-    return {"total": score.total, "valid": score.valid,
+    data = {"total": score.total, "valid": score.valid,
             "components": dict(score.components),
             "anomalies": list(score.anomalies)}
+    if getattr(score, "coverage", None) is not None:
+        data["coverage"] = score.coverage
+    return data
 
 
 def decode_score(data: Dict):
@@ -277,11 +289,12 @@ def decode_score(data: Dict):
 
     return Score(total=data["total"], valid=data["valid"],
                  components=dict(data["components"]),
-                 anomalies=list(data["anomalies"]))
+                 anomalies=list(data["anomalies"]),
+                 coverage=data.get("coverage"))
 
 
 def encode_fuzz_report(report) -> Dict:
-    return {
+    data = {
         "iterations-run": report.iterations_run,
         "invalid-runs": report.invalid_runs,
         "pool-scores": list(report.pool_scores),
@@ -291,6 +304,11 @@ def encode_fuzz_report(report) -> Dict:
             for f in report.findings
         ],
     }
+    if getattr(report, "coverage_growth", None):
+        data["coverage-growth"] = list(report.coverage_growth)
+    if getattr(report, "coverage", None) is not None:
+        data["coverage"] = report.coverage
+    return data
 
 
 def decode_fuzz_report(data: Dict):
@@ -306,6 +324,8 @@ def decode_fuzz_report(data: Dict):
                         score=decode_score(f["score"]))
             for f in data["findings"]
         ],
+        coverage_growth=list(data.get("coverage-growth", [])),
+        coverage=data.get("coverage"),
     )
 
 
@@ -314,9 +334,14 @@ def decode_fuzz_report(data: Dict):
 # ---------------------------------------------------------------------------
 
 def encode_check_result(check) -> Dict:
-    return {"name": check.name, "passed": check.passed,
+    data = {"name": check.name, "passed": check.passed,
             "detail": check.detail,
             "outcome": check.outcome.value if check.outcome else None}
+    if getattr(check, "coverage", None) is not None:
+        data["coverage"] = check.coverage
+    if getattr(check, "flight_record", None) is not None:
+        data["flight-record"] = check.flight_record
+    return data
 
 
 def decode_check_result(data: Dict):
@@ -325,7 +350,9 @@ def decode_check_result(data: Dict):
     outcome = data["outcome"]
     return CheckResult(name=data["name"], passed=data["passed"],
                        detail=data["detail"],
-                       outcome=Outcome(outcome) if outcome else None)
+                       outcome=Outcome(outcome) if outcome else None,
+                       coverage=data.get("coverage"),
+                       flight_record=data.get("flight-record"))
 
 
 def encode_analyzer_result(result) -> Dict:

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..coverage import runtime as coverage
+
 __all__ = ["IterTracker", "ConnState"]
 
 _PSN_MASK = 0xFFFFFF
@@ -42,8 +44,10 @@ class IterTracker:
     def __init__(self, max_connections: int = 10_000):
         self.max_connections = max_connections
         self._conns: Dict[Tuple[int, int, int], ConnState] = {}
+        self._cov = coverage.current().domain("switch.iter")
 
-    def update(self, src_ip: int, dst_ip: int, dst_qpn: int, psn: int) -> int:
+    def update(self, src_ip: int, dst_ip: int, dst_qpn: int, psn: int,
+               now_ns: int = 0) -> int:
         """Process one packet; returns the ITER it belongs to."""
         key = (src_ip, dst_ip, dst_qpn)
         state = self._conns.get(key)
@@ -54,8 +58,12 @@ class IterTracker:
                 )
             state = ConnState()
             self._conns[key] = state
-        if state.last_psn is not None and not _psn_later(psn, state.last_psn):
+            self._cov.hit("new-connection", now_ns)
+        if state.last_psn is None or _psn_later(psn, state.last_psn):
+            self._cov.hit("in-order-advance", now_ns)
+        else:
             state.iteration += 1
+            self._cov.hit("retransmit-round", now_ns)
         state.last_psn = psn & _PSN_MASK
         return state.iteration
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
+from ..coverage import runtime as coverage
 from ..net.link import Port
 from ..net.packet import Packet
 from ..sim.rng import SimRandom
@@ -71,6 +72,7 @@ class MirrorBlock:
         tel = telemetry.current()
         self._m_mirrored = tel.counter("switch_mirrored_packets")
         self._m_queue = tel.gauge("switch_mirror_queue_bytes")
+        self._cov = coverage.current().domain("switch.mirror")
 
     def add_target(self, port: Port, weight: int = 1) -> None:
         self._targets.append(MirrorTarget(port=port, weight=weight))
@@ -122,7 +124,9 @@ class MirrorBlock:
         # stamped the clone — the seq is consumed either way, exactly
         # like a real mirror drop between switch and dumper.
         if self._faults is not None and self._faults.on_mirror(target.port, clone):
+            self._cov.hit("fault-intercepted", now_ns)
             return clone
+        self._cov.hit("mirrored", now_ns)
         target.port.send(clone)
         self._m_queue.set(target.port.queued_bytes)
         return clone

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..coverage import runtime as coverage
 from ..net.headers import ECN_CE
 from ..net.link import Node, Port
 from ..net.packet import EventType, Packet
@@ -94,6 +95,9 @@ class TofinoSwitch(Node):
                                 action=action)
             for action in EventAction.ALL
         }
+        cov = coverage.current()
+        self._cov = cov.domain("switch.pipeline")
+        self._rec = cov.recorder(f"switch:{name}")
 
     # ------------------------------------------------------------------
     # Topology / control plane
@@ -147,21 +151,27 @@ class TofinoSwitch(Node):
             for rule in self.rewrite_rules:
                 if rule.matches(packet):
                     rule.apply(packet)
+                    self._cov.hit("rewrite-applied", self.sim.now)
             # ITER update runs for every RoCE packet (Fig. 3); the event
             # match additionally requires a data opcode (footnote 2).
             iteration = self.iter_tracker.update(
                 packet.ip.src_ip, packet.ip.dst_ip, packet.bth.dest_qp,
-                packet.bth.psn,
+                packet.bth.psn, now_ns=self.sim.now,
             )
             if self.event_injection and packet.bth.opcode.is_data:
                 self._m_lookups.inc()
                 entry = self.event_table.lookup(
                     packet.ip.src_ip, packet.ip.dst_ip, packet.bth.dest_qp,
-                    packet.bth.psn, iteration,
+                    packet.bth.psn, iteration, now_ns=self.sim.now,
                 )
                 if entry is not None:
                     event_code = EventAction.CODES[entry.action]
                     self._m_matches[entry.action].inc()
+                    self._cov.hit(f"event-{entry.action}", self.sim.now)
+                    self._rec.note(
+                        self.sim.now, f"inject-{entry.action}",
+                        f"qpn={packet.bth.dest_qp} psn={packet.bth.psn} "
+                        f"iter={iteration}")
                     if self._tel is not None:
                         self._tel.instant(
                             f"switch.event.{entry.action}", pid="switch",
@@ -208,6 +218,7 @@ class TofinoSwitch(Node):
             return
         packet, safety = held
         safety.cancel()
+        self._cov.hit("reorder-release", self.sim.now)
         self._forward(packet)
 
     def _forward(self, packet: Packet) -> None:
@@ -226,6 +237,7 @@ class TofinoSwitch(Node):
                 packet.ip.ecn = ECN_CE
                 packet.invalidate_wire_cache()
                 self.ecn_marked_by_queue += 1
+                self._cov.hit("queue-ecn-mark", self.sim.now)
         out_port.send(packet)
 
     # ------------------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..coverage import runtime as coverage
 from .events import ANY_ITERATION, EventEntry
 
 __all__ = ["MatchActionTable"]
@@ -31,6 +32,7 @@ class MatchActionTable:
         self.capacity = capacity
         self._entries: Dict[Tuple[int, int, int, int, int], EventEntry] = {}
         self._wildcards: Dict[Tuple[int, int, int, int], EventEntry] = {}
+        self._cov = coverage.current().domain("switch.table")
 
     def __contains_key(self, entry: EventEntry) -> bool:
         if entry.iteration == ANY_ITERATION:
@@ -55,12 +57,20 @@ class MatchActionTable:
             self.install(entry)
 
     def lookup(self, src_ip: int, dst_ip: int, dst_qpn: int,
-               psn: int, iteration: int) -> Optional[EventEntry]:
+               psn: int, iteration: int,
+               now_ns: int = 0) -> Optional[EventEntry]:
         entry = self._entries.get((src_ip, dst_ip, dst_qpn, psn, iteration))
+        stage = "exact-hit"
         if entry is None:
             entry = self._wildcards.get((src_ip, dst_ip, dst_qpn, psn))
-        if entry is None or entry.exhausted:
+            stage = "wildcard-hit"
+        if entry is None:
+            self._cov.hit("miss", now_ns)
             return None
+        if entry.exhausted:
+            self._cov.hit("exhausted", now_ns)
+            return None
+        self._cov.hit(stage, now_ns)
         entry.hits += 1
         return entry
 

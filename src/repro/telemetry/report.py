@@ -37,6 +37,9 @@ _HEADLINE_METRICS = (
     ("fault_mirror_delayed", "mirror clones delayed (fault inj.)"),
     ("run_integrity_failures", "integrity failures"),
     ("run_retries", "integrity-driven retries"),
+    ("coverage_domains_hit", "coverage: domains hit"),
+    ("coverage_points_hit", "coverage: points hit"),
+    ("coverage_points_known", "coverage: points known"),
 )
 
 

@@ -427,6 +427,54 @@ def test_tel001_suppressed():
     """) == []
 
 
+def test_tel001_positive_coverage_domain_in_loop():
+    # Coverage handles obey the same contract as telemetry handles:
+    # bind once at construction, never per packet.
+    findings = lint("""
+        from ..coverage import runtime as coverage
+
+        def f(packets):
+            cov = coverage.current()
+            for pkt in packets:
+                cov.domain("rdma.gbn").hit("nak-sent", pkt.ns)
+    """)
+    assert codes(findings) == ["TEL001"]
+
+
+def test_tel001_positive_coverage_recorder_in_while():
+    findings = lint("""
+        class Probe:
+            def drain(self, entries):
+                while entries:
+                    entry = entries.pop()
+                    self.coverage.recorder("rnic").note(entry.ns, "gap")
+    """)
+    assert codes(findings) == ["TEL001"]
+
+
+def test_tel001_negative_coverage_handle_bound_outside_loop():
+    assert lint("""
+        from ..coverage import runtime as coverage
+
+        def f(packets):
+            gbn = coverage.current().domain("rdma.gbn")
+            for pkt in packets:
+                gbn.hit("nak-sent", pkt.ns)
+    """) == []
+
+
+def test_det001_applies_to_coverage_sources():
+    # DET001's directory scope includes coverage/ — the map records
+    # seeded sim-time only, never wall clocks.
+    findings = lint("""
+        import time
+
+        def stamp():
+            return time.time()
+    """, path="repro/coverage/sample.py")
+    assert codes(findings) == ["DET001"]
+
+
 # ----------------------------------------------------------------------
 # API001 — engine-owned state mutation
 # ----------------------------------------------------------------------
