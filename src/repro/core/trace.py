@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..dumper.records import DumpRecord, ParsedRecord, parse_record
+from ..dumper.records import DumpRecord, ParsedRecord, expected_icrcs, parse_record
 from ..net.headers import Opcode
 from ..net.packet import EventType
 from ..switch.itertrack import IterTracker
@@ -28,12 +28,29 @@ __all__ = ["TracePacket", "TraceGap", "PacketTrace", "IntegrityReport",
            "reconstruct_trace", "check_integrity", "format_trace"]
 
 
-@dataclass
 class TracePacket:
-    """One trace entry: a parsed record plus its offline-derived ITER."""
+    """One trace entry: a parsed record plus its offline-derived ITER.
 
-    record: ParsedRecord
-    iteration: int
+    Slotted by hand: one instance per captured packet is built during
+    trace reconstruction. Semantics match the dataclass it replaced.
+    """
+
+    __slots__ = ("record", "iteration")
+    __hash__ = None
+
+    def __init__(self, record: ParsedRecord, iteration: int):
+        self.record = record
+        self.iteration = iteration
+
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not TracePacket:
+            return NotImplemented
+        return (self.record == other.record
+                and self.iteration == other.iteration)
+
+    def __repr__(self) -> str:
+        return (f"TracePacket(record={self.record!r}, "
+                f"iteration={self.iteration!r})")
 
     # Convenience pass-throughs used heavily by the analyzers.
     @property
@@ -192,6 +209,16 @@ class PacketTrace:
         assert self._by_identity is not None
         return self._by_identity.get((conn_key, psn, iteration))
 
+    def expected_icrcs(self) -> List[int]:
+        """Batched clean iCRC for every packet in trace order.
+
+        One :func:`repro.dumper.records.expected_icrcs` call over the
+        whole trace — duplicate transport-header shapes (long trains of
+        same-shaped data packets) collapse inside the batch instead of
+        costing a cache probe each.
+        """
+        return expected_icrcs(p.record for p in self.packets)
+
     @property
     def gaps(self) -> List[TraceGap]:
         """Missing mirror-seq ranges, annotated with bounding timestamps.
@@ -334,10 +361,13 @@ def reconstruct_trace(records: Iterable[DumpRecord],
     parsed = sorted((parse_record(r) for r in records), key=lambda p: p.mirror_seq)
     tracker = IterTracker(max_connections=1_000_000)
     packets = []
+    append = packets.append
+    update = tracker.update
     for record in parsed:
-        iteration = tracker.update(record.ip.src_ip, record.ip.dst_ip,
-                                   record.bth.dest_qp, record.bth.psn)
-        packets.append(TracePacket(record=record, iteration=iteration))
+        ip = record.ip
+        bth = record.bth
+        append(TracePacket(record,
+                           update(ip.src_ip, ip.dst_ip, bth.dest_qp, bth.psn)))
     return PacketTrace(packets=packets, expected_packets=expected_packets)
 
 

@@ -11,10 +11,10 @@ switch timestamp from the destination MAC).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, List, Optional
 
 from ..net.addressing import ROCEV2_UDP_PORT
+from ..net.checksum import icrc_many
 from ..net.headers import (
     AckExtendedHeader,
     AETH_LEN,
@@ -33,7 +33,8 @@ from ..net.headers import (
 )
 from ..net.packet import EventType, Packet
 
-__all__ = ["TRIM_BYTES", "DumpRecord", "ParsedRecord", "make_record", "parse_record"]
+__all__ = ["TRIM_BYTES", "DumpRecord", "ParsedRecord", "make_record",
+           "parse_record", "expected_icrcs"]
 
 #: Bytes of each packet the dumper retains (§5).
 TRIM_BYTES = 128
@@ -54,14 +55,39 @@ _AETH_OPCODES = frozenset({
 })
 
 
-@dataclass
-class DumpRecord:
-    """One trimmed packet as buffered in dumper memory / written to disk."""
+_RESTORED_PORT_BYTES = ROCEV2_UDP_PORT.to_bytes(2, "big")
 
-    raw: bytes
-    rx_time_ns: int
-    server: str
-    core: int
+
+class DumpRecord:
+    """One trimmed packet as buffered in dumper memory / written to disk.
+
+    Slotted by hand (not a dataclass): one instance per mirrored packet
+    plus one per ``restored()`` copy at TERM, so construction cost is on
+    the capture hot path. Value semantics match the dataclass this
+    replaced (field-order ``__init__``, ``__eq__``, unhashable).
+    """
+
+    __slots__ = ("raw", "rx_time_ns", "server", "core")
+    __hash__ = None
+
+    def __init__(self, raw: bytes, rx_time_ns: int, server: str, core: int):
+        self.raw = raw
+        self.rx_time_ns = rx_time_ns
+        self.server = server
+        self.core = core
+
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not DumpRecord:
+            return NotImplemented
+        return (self.raw == other.raw
+                and self.rx_time_ns == other.rx_time_ns
+                and self.server == other.server
+                and self.core == other.core)
+
+    def __repr__(self) -> str:
+        return (f"DumpRecord(raw={self.raw!r}, "
+                f"rx_time_ns={self.rx_time_ns!r}, "
+                f"server={self.server!r}, core={self.core!r})")
 
     def restored(self) -> "DumpRecord":
         """Record with the UDP destination port restored to 4791 (§3.4).
@@ -70,29 +96,68 @@ class DumpRecord:
         it receives the orchestrator's TERM message, undoing the RSS
         port randomisation before the file hits the disk.
         """
-        if len(self.raw) < ETH_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN:
+        raw = self.raw
+        if len(raw) < ETH_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN:
             return self
         offset = ETH_HEADER_LEN + IPV4_HEADER_LEN
-        port_bytes = ROCEV2_UDP_PORT.to_bytes(2, "big")
-        raw = self.raw[: offset + 2] + port_bytes + self.raw[offset + 4:]
-        return DumpRecord(raw=raw, rx_time_ns=self.rx_time_ns,
-                          server=self.server, core=self.core)
+        raw = raw[: offset + 2] + _RESTORED_PORT_BYTES + raw[offset + 4:]
+        return DumpRecord(raw, self.rx_time_ns, self.server, self.core)
 
 
-@dataclass
 class ParsedRecord:
-    """A dump record decoded back into headers + mirror metadata."""
+    """A dump record decoded back into headers + mirror metadata.
 
-    eth: EthernetHeader
-    ip: Ipv4Header
-    udp: UdpHeader
-    bth: BaseTransportHeader
-    reth: Optional[RdmaExtendedHeader]
-    aeth: Optional[AckExtendedHeader]
-    payload_len: int
-    rx_time_ns: int
-    server: str
-    core: int
+    Slotted by hand for the same reason as :class:`DumpRecord`: trace
+    reconstruction re-parses every captured record, and the dataclass
+    keyword ``__init__`` was measurable there.
+    """
+
+    __slots__ = ("eth", "ip", "udp", "bth", "reth", "aeth",
+                 "payload_len", "rx_time_ns", "server", "core")
+    __hash__ = None
+
+    def __init__(self,
+                 eth: EthernetHeader,
+                 ip: Ipv4Header,
+                 udp: UdpHeader,
+                 bth: BaseTransportHeader,
+                 reth: Optional[RdmaExtendedHeader],
+                 aeth: Optional[AckExtendedHeader],
+                 payload_len: int,
+                 rx_time_ns: int,
+                 server: str,
+                 core: int):
+        self.eth = eth
+        self.ip = ip
+        self.udp = udp
+        self.bth = bth
+        self.reth = reth
+        self.aeth = aeth
+        self.payload_len = payload_len
+        self.rx_time_ns = rx_time_ns
+        self.server = server
+        self.core = core
+
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not ParsedRecord:
+            return NotImplemented
+        return (self.eth == other.eth
+                and self.ip == other.ip
+                and self.udp == other.udp
+                and self.bth == other.bth
+                and self.reth == other.reth
+                and self.aeth == other.aeth
+                and self.payload_len == other.payload_len
+                and self.rx_time_ns == other.rx_time_ns
+                and self.server == other.server
+                and self.core == other.core)
+
+    def __repr__(self) -> str:
+        return (f"ParsedRecord(eth={self.eth!r}, ip={self.ip!r}, "
+                f"udp={self.udp!r}, bth={self.bth!r}, reth={self.reth!r}, "
+                f"aeth={self.aeth!r}, payload_len={self.payload_len!r}, "
+                f"rx_time_ns={self.rx_time_ns!r}, server={self.server!r}, "
+                f"core={self.core!r})")
 
     # -- switch-embedded metadata (§3.4) --------------------------------
     @property
@@ -128,16 +193,27 @@ class ParsedRecord:
         """The directed-connection key the switch tracks ITER by."""
         return (self.ip.src_ip, self.ip.dst_ip, self.bth.dest_qp)
 
+    def transport_bytes(self) -> bytes:
+        """The packed IB transport headers the iCRC is computed over."""
+        data = self.bth.pack()
+        if self.reth is not None:
+            data += self.reth.pack()
+        if self.aeth is not None:
+            data += self.aeth.pack()
+        return data
+
 
 def make_record(packet: Packet, rx_time_ns: int, server: str, core: int) -> DumpRecord:
     """Trim a mirrored packet into a dump record (first 128 wire bytes)."""
     headers = packet.pack_headers()
-    wire_len = min(TRIM_BYTES, packet.size)
+    wire_len = packet.size
+    if wire_len > TRIM_BYTES:
+        wire_len = TRIM_BYTES
     if len(headers) >= wire_len:
         raw = headers[:wire_len]
     else:
         raw = headers + bytes(wire_len - len(headers))  # zeroed payload bytes
-    return DumpRecord(raw=raw, rx_time_ns=rx_time_ns, server=server, core=core)
+    return DumpRecord(raw, rx_time_ns, server, core)
 
 
 def parse_record(record: DumpRecord) -> ParsedRecord:
@@ -147,28 +223,38 @@ def parse_record(record: DumpRecord) -> ParsedRecord:
     ever receive mirrored RoCE traffic, so this indicates corruption).
     """
     raw = record.raw
-    offset = 0
-    eth = EthernetHeader.unpack(raw[offset:])
-    offset += ETH_HEADER_LEN
-    ip = Ipv4Header.unpack(raw[offset:])
+    # Offset-based unpack_from all the way down: no per-header slices.
+    eth = EthernetHeader.unpack(raw)
+    offset = ETH_HEADER_LEN
+    ip = Ipv4Header.unpack(raw, offset)
     offset += IPV4_HEADER_LEN
-    udp = UdpHeader.unpack(raw[offset:])
+    udp = UdpHeader.unpack(raw, offset)
     offset += UDP_HEADER_LEN
-    bth = BaseTransportHeader.unpack(raw[offset:])
+    bth = BaseTransportHeader.unpack(raw, offset)
     offset += BTH_LEN
     reth = None
     aeth = None
-    if bth.opcode in _RETH_OPCODES:
-        reth = RdmaExtendedHeader.unpack(raw[offset:])
-        offset += RETH_LEN
-    elif bth.opcode in _AETH_OPCODES:
-        aeth = AckExtendedHeader.unpack(raw[offset:])
-        offset += AETH_LEN
+    opcode = bth.opcode
+    if opcode in _RETH_OPCODES:
+        reth = RdmaExtendedHeader.unpack(raw, offset)
+    elif opcode in _AETH_OPCODES:
+        aeth = AckExtendedHeader.unpack(raw, offset)
     ext_len = (RETH_LEN if reth is not None else 0) + (AETH_LEN if aeth is not None else 0)
     payload_len = ip.total_length - IPV4_HEADER_LEN - UDP_HEADER_LEN - BTH_LEN \
         - ext_len - ICRC_LEN
-    return ParsedRecord(
-        eth=eth, ip=ip, udp=udp, bth=bth, reth=reth, aeth=aeth,
-        payload_len=max(0, payload_len),
-        rx_time_ns=record.rx_time_ns, server=record.server, core=record.core,
-    )
+    if payload_len < 0:
+        payload_len = 0
+    return ParsedRecord(eth, ip, udp, bth, reth, aeth, payload_len,
+                        record.rx_time_ns, record.server, record.core)
+
+
+def expected_icrcs(parsed: Iterable[ParsedRecord]) -> List[int]:
+    """Clean iCRC each record's packet should have carried on the wire.
+
+    Batched over :func:`repro.net.checksum.icrc_many`: mirror trains
+    repeat a handful of transport-header shapes, so computing the whole
+    trace at once lets the duplicates collapse instead of paying one
+    cache probe per record. Corruption analysis compares these against
+    the receiving RNIC's ``rx_icrc_errors`` accounting.
+    """
+    return icrc_many((p.transport_bytes(), p.payload_len) for p in parsed)

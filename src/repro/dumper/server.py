@@ -27,14 +27,37 @@ from .records import DumpRecord, make_record
 __all__ = ["DumperServer"]
 
 
+_FNV_PRIME = 0x01000193
+#: Memoized FNV-1a register after folding (src_ip, dst_ip, src_port).
+#: The mirror block randomizes only the UDP *destination* port per
+#: packet, so the 12-byte prefix repeats for every packet of a flow;
+#: caching it turns 16 byte-folds per packet into 4. Bounded: the key
+#: space is the testbed's flow set, but clear defensively anyway.
+_rss_prefix_cache: dict = {}
+
+
 def _rss_hash(src_ip: int, dst_ip: int, src_port: int, dst_port: int) -> int:
     """Deterministic FNV-1a over the 5-tuple fields RSS hashes."""
-    value = 0x811C9DC5
-    for word in (src_ip, dst_ip, src_port, dst_port):
-        for shift in (24, 16, 8, 0):
-            value ^= (word >> shift) & 0xFF
-            value = (value * 0x01000193) & 0xFFFFFFFF
-    return value
+    key = (src_ip, dst_ip, src_port)
+    value = _rss_prefix_cache.get(key)
+    if value is None:
+        if len(_rss_prefix_cache) >= 4096:
+            _rss_prefix_cache.clear()
+        value = 0x811C9DC5
+        for word in (src_ip, dst_ip, src_port):
+            for shift in (24, 16, 8, 0):
+                value ^= (word >> shift) & 0xFF
+                value = (value * _FNV_PRIME) & 0xFFFFFFFF
+        _rss_prefix_cache[key] = value
+    # Unrolled fold of dst_port's four big-endian bytes.
+    value ^= (dst_port >> 24) & 0xFF
+    value = (value * _FNV_PRIME) & 0xFFFFFFFF
+    value ^= (dst_port >> 16) & 0xFF
+    value = (value * _FNV_PRIME) & 0xFFFFFFFF
+    value ^= (dst_port >> 8) & 0xFF
+    value = (value * _FNV_PRIME) & 0xFFFFFFFF
+    value ^= dst_port & 0xFF
+    return (value * _FNV_PRIME) & 0xFFFFFFFF
 
 
 class _Core:
@@ -83,11 +106,13 @@ class DumperServer(Node):
         return len(self.cores) * (1_000_000_000 // self.cores[0].service_ns)
 
     def handle_packet(self, port: Port, packet: Packet) -> None:
-        if self._terminated or packet.udp is None or packet.ip is None:
+        udp = packet.udp
+        ip = packet.ip
+        if self._terminated or udp is None or ip is None:
             return
         core = self.cores[
-            _rss_hash(packet.ip.src_ip, packet.ip.dst_ip,
-                      packet.udp.src_port, packet.udp.dst_port) % len(self.cores)
+            _rss_hash(ip.src_ip, ip.dst_ip,
+                      udp.src_port, udp.dst_port) % len(self.cores)
         ]
         if core.backlog >= core.ring_slots:
             core.dropped += 1
@@ -96,9 +121,13 @@ class DumperServer(Node):
             return
         core.backlog += 1
         self._m_ring[core.index].set(core.backlog)
-        start = max(self.sim.now, core.free_at)
-        core.free_at = start + core.service_ns
-        self.sim.schedule(core.free_at - self.sim.now, self._process, core, packet)
+        sim = self.sim
+        start = sim.now
+        free_at = core.free_at
+        if free_at > start:
+            start = free_at
+        core.free_at = start = start + core.service_ns
+        sim.schedule_at(start, self._process, core, packet)
 
     def _process(self, core: _Core, packet: Packet) -> None:
         if self._terminated:

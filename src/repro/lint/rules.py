@@ -520,7 +520,8 @@ class TelemetryHandleRule(Rule):
 #: Simulator internals: event-count accounting and the clock. ``probe``
 #: is deliberately absent — it is the sanctioned extension point.
 _ENGINE_PRIVATE = {"_now", "_queue", "_seq", "_live", "_cancelled",
-                   "_processed", "_running"}
+                   "_processed", "_running", "_size", "_times", "_buckets",
+                   "_active", "_active_pos", "_active_time"}
 _ENGINE_PRIVATE_METHODS = {"_note_cancel", "_compact"}
 _ENGINE_NAME_HINTS = {"sim", "_sim", "simulator", "engine"}
 
@@ -581,3 +582,47 @@ class EngineStateRule(Rule):
             return False
         leaf = name.rsplit(".", 1)[-1]
         return leaf in _ENGINE_NAME_HINTS
+
+
+# ======================================================================
+# PERF001 — interpreted struct format strings on the packet hot path
+# ======================================================================
+#: struct-module functions that re-parse their format string per call.
+_STRUCT_FMT_FUNCS = {"struct.pack", "struct.unpack", "struct.pack_into",
+                     "struct.unpack_from", "struct.iter_unpack",
+                     "struct.calcsize"}
+
+
+@register
+class StructLiteralRule(Rule):
+    code = "PERF001"
+    name = "literal-struct-format"
+    severity = Severity.WARNING
+    description = ("literal-format struct.pack/unpack in packet-path "
+                   "code (net/, switch/, rdma/, dumper/); precompile a "
+                   "module-level struct.Struct")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _in_dir(ctx.path, "net", "switch", "rdma", "dumper"):
+            return
+        for call in ctx.calls():
+            callee = ctx.resolve_call(call)
+            if callee not in _STRUCT_FMT_FUNCS:
+                continue
+            if not call.args:
+                continue
+            fmt = call.args[0]
+            if not (isinstance(fmt, ast.Constant)
+                    and isinstance(fmt.value, str)):
+                # A precompiled Struct's bound method or a dynamic
+                # format built elsewhere — not the per-call parse
+                # this rule is about.
+                continue
+            short = callee.rsplit(".", 1)[-1]
+            yield self.finding(
+                ctx, call,
+                f"struct.{short}({fmt.value!r}, ...) re-parses its "
+                f"format string on every call; packet-path code packs "
+                f"millions of headers per campaign — compile a "
+                f"module-level struct.Struct({fmt.value!r}) once and "
+                f"call its bound {short}()")

@@ -13,13 +13,21 @@ packets — therefore works on genuine header fields here too.
 Opcodes and field layouts follow the InfiniBand Architecture
 Specification (RC transport) and the RoCEv2 annex; only the fields
 Lumina needs are modelled, but the byte offsets and sizes are faithful.
+
+Hot-path note: each layout is compiled once into a module-level
+:class:`struct.Struct` codec and every header class is slotted — a
+simulated run packs hundreds of thousands of headers, so the per-call
+format-string parse and per-instance ``__dict__`` both matter. The
+classes keep dataclass-equivalent semantics (field order, defaults,
+``__eq__`` by value with ``NotImplemented`` across types, unhashable,
+``repr`` listing every field) so call sites and pickled artifacts are
+unaffected.
 """
 
 from __future__ import annotations
 
-import struct
-from dataclasses import dataclass, field
 from enum import IntEnum
+from struct import Struct
 
 __all__ = [
     "Opcode",
@@ -61,6 +69,21 @@ ECN_NOT_ECT = 0b00
 ECN_ECT1 = 0b01
 ECN_ECT0 = 0b10
 ECN_CE = 0b11
+
+# Precompiled wire codecs — one Struct per layout, compiled at import.
+_ETH = Struct("!6s6sH")
+_IPV4 = Struct("!BBHHHBBHII")
+_UDP = Struct("!HHHH")
+_BTH = Struct("!BBHB3sB3s")
+_RETH = Struct("!QII")
+_AETH = Struct("!B3s")
+
+_ETH_PACK = _ETH.pack
+_IPV4_PACK = _IPV4.pack
+_UDP_PACK = _UDP.pack
+_BTH_PACK = _BTH.pack
+_RETH_PACK = _RETH.pack
+_AETH_PACK = _AETH.pack
 
 
 class Opcode(IntEnum):
@@ -141,6 +164,10 @@ class Opcode(IntEnum):
         )
 
 
+#: Wire value -> member, for the BTH decode hot path. ``Opcode(x)``
+#: goes through EnumMeta.__call__, which costs several times a dict hit.
+_OPCODE_BY_VALUE = {member.value: member for member in Opcode}
+
 _DATA_OPCODES = frozenset(
     {
         Opcode.SEND_FIRST,
@@ -183,55 +210,72 @@ class AethSyndrome(IntEnum):
 NAK_PSN_SEQUENCE_ERROR = 0
 
 
-@dataclass
 class EthernetHeader:
     """Ethernet II header. MACs are 48-bit integers."""
 
-    dst_mac: int = 0
-    src_mac: int = 0
-    ethertype: int = ETHERTYPE_IPV4
+    __slots__ = ("dst_mac", "src_mac", "ethertype")
+    __hash__ = None  # value-equal like the dataclass it replaced
+
+    def __init__(self, dst_mac: int = 0, src_mac: int = 0,
+                 ethertype: int = ETHERTYPE_IPV4):
+        self.dst_mac = dst_mac
+        self.src_mac = src_mac
+        self.ethertype = ethertype
 
     def pack(self) -> bytes:
-        return (
-            self.dst_mac.to_bytes(6, "big")
-            + self.src_mac.to_bytes(6, "big")
-            + struct.pack("!H", self.ethertype)
+        return _ETH_PACK(
+            self.dst_mac.to_bytes(6, "big"),
+            self.src_mac.to_bytes(6, "big"),
+            self.ethertype,
         )
 
     @classmethod
-    def unpack(cls, data: bytes) -> "EthernetHeader":
-        if len(data) < ETH_HEADER_LEN:
+    def unpack(cls, data: bytes, offset: int = 0) -> "EthernetHeader":
+        if len(data) - offset < ETH_HEADER_LEN:
             raise ValueError("truncated Ethernet header")
-        return cls(
-            dst_mac=int.from_bytes(data[0:6], "big"),
-            src_mac=int.from_bytes(data[6:12], "big"),
-            ethertype=struct.unpack("!H", data[12:14])[0],
-        )
+        dst, src, ethertype = _ETH.unpack_from(data, offset)
+        return cls(int.from_bytes(dst, "big"), int.from_bytes(src, "big"),
+                   ethertype)
 
     def copy(self) -> "EthernetHeader":
         return EthernetHeader(self.dst_mac, self.src_mac, self.ethertype)
 
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not EthernetHeader:
+            return NotImplemented
+        return (self.dst_mac == other.dst_mac
+                and self.src_mac == other.src_mac
+                and self.ethertype == other.ethertype)
 
-@dataclass
+    def __repr__(self) -> str:
+        return (f"EthernetHeader(dst_mac={self.dst_mac!r}, "
+                f"src_mac={self.src_mac!r}, ethertype={self.ethertype!r})")
+
+
 class Ipv4Header:
     """IPv4 header (no options). ``total_length`` covers IP header + payload."""
 
-    src_ip: int = 0
-    dst_ip: int = 0
-    total_length: int = IPV4_HEADER_LEN
-    ttl: int = 64
-    protocol: int = IPPROTO_UDP
-    dscp: int = 0
-    ecn: int = ECN_ECT0
-    identification: int = 0
+    __slots__ = ("src_ip", "dst_ip", "total_length", "ttl", "protocol",
+                 "dscp", "ecn", "identification")
+    __hash__ = None
+
+    def __init__(self, src_ip: int = 0, dst_ip: int = 0,
+                 total_length: int = IPV4_HEADER_LEN, ttl: int = 64,
+                 protocol: int = IPPROTO_UDP, dscp: int = 0,
+                 ecn: int = ECN_ECT0, identification: int = 0):
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.total_length = total_length
+        self.ttl = ttl
+        self.protocol = protocol
+        self.dscp = dscp
+        self.ecn = ecn
+        self.identification = identification
 
     def pack(self) -> bytes:
-        version_ihl = (4 << 4) | 5
-        tos = ((self.dscp & 0x3F) << 2) | (self.ecn & 0x3)
-        return struct.pack(
-            "!BBHHHBBHII",
-            version_ihl,
-            tos,
+        return _IPV4_PACK(
+            (4 << 4) | 5,  # version + IHL
+            ((self.dscp & 0x3F) << 2) | (self.ecn & 0x3),
             self.total_length,
             self.identification,
             0,  # flags + fragment offset
@@ -243,23 +287,15 @@ class Ipv4Header:
         )
 
     @classmethod
-    def unpack(cls, data: bytes) -> "Ipv4Header":
-        if len(data) < IPV4_HEADER_LEN:
+    def unpack(cls, data: bytes, offset: int = 0) -> "Ipv4Header":
+        if len(data) - offset < IPV4_HEADER_LEN:
             raise ValueError("truncated IPv4 header")
         (version_ihl, tos, total_length, identification, _frag, ttl, protocol,
-         _csum, src_ip, dst_ip) = struct.unpack("!BBHHHBBHII", data[:IPV4_HEADER_LEN])
+         _csum, src_ip, dst_ip) = _IPV4.unpack_from(data, offset)
         if version_ihl >> 4 != 4:
             raise ValueError("not an IPv4 packet")
-        return cls(
-            src_ip=src_ip,
-            dst_ip=dst_ip,
-            total_length=total_length,
-            ttl=ttl,
-            protocol=protocol,
-            dscp=tos >> 2,
-            ecn=tos & 0x3,
-            identification=identification,
-        )
+        return cls(src_ip, dst_ip, total_length, ttl, protocol,
+                   tos >> 2, tos & 0x3, identification)
 
     def copy(self) -> "Ipv4Header":
         return Ipv4Header(
@@ -267,30 +303,62 @@ class Ipv4Header:
             self.protocol, self.dscp, self.ecn, self.identification,
         )
 
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not Ipv4Header:
+            return NotImplemented
+        return (self.src_ip == other.src_ip
+                and self.dst_ip == other.dst_ip
+                and self.total_length == other.total_length
+                and self.ttl == other.ttl
+                and self.protocol == other.protocol
+                and self.dscp == other.dscp
+                and self.ecn == other.ecn
+                and self.identification == other.identification)
 
-@dataclass
+    def __repr__(self) -> str:
+        return (f"Ipv4Header(src_ip={self.src_ip!r}, dst_ip={self.dst_ip!r}, "
+                f"total_length={self.total_length!r}, ttl={self.ttl!r}, "
+                f"protocol={self.protocol!r}, dscp={self.dscp!r}, "
+                f"ecn={self.ecn!r}, identification={self.identification!r})")
+
+
 class UdpHeader:
     """UDP header. RoCEv2 uses destination port 4791."""
 
-    src_port: int = 0
-    dst_port: int = 4791
-    length: int = UDP_HEADER_LEN
+    __slots__ = ("src_port", "dst_port", "length")
+    __hash__ = None
+
+    def __init__(self, src_port: int = 0, dst_port: int = 4791,
+                 length: int = UDP_HEADER_LEN):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.length = length
 
     def pack(self) -> bytes:
-        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+        return _UDP_PACK(self.src_port, self.dst_port, self.length, 0)
 
     @classmethod
-    def unpack(cls, data: bytes) -> "UdpHeader":
-        if len(data) < UDP_HEADER_LEN:
+    def unpack(cls, data: bytes, offset: int = 0) -> "UdpHeader":
+        if len(data) - offset < UDP_HEADER_LEN:
             raise ValueError("truncated UDP header")
-        src_port, dst_port, length, _csum = struct.unpack("!HHHH", data[:UDP_HEADER_LEN])
-        return cls(src_port=src_port, dst_port=dst_port, length=length)
+        src_port, dst_port, length, _csum = _UDP.unpack_from(data, offset)
+        return cls(src_port, dst_port, length)
 
     def copy(self) -> "UdpHeader":
         return UdpHeader(self.src_port, self.dst_port, self.length)
 
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not UdpHeader:
+            return NotImplemented
+        return (self.src_port == other.src_port
+                and self.dst_port == other.dst_port
+                and self.length == other.length)
 
-@dataclass
+    def __repr__(self) -> str:
+        return (f"UdpHeader(src_port={self.src_port!r}, "
+                f"dst_port={self.dst_port!r}, length={self.length!r})")
+
+
 class BaseTransportHeader:
     """IB Base Transport Header (BTH), 12 bytes.
 
@@ -299,54 +367,61 @@ class BaseTransportHeader:
     and transport version. The A bit (ack request) lives in byte 8.
     """
 
-    opcode: Opcode = Opcode.SEND_ONLY
-    solicited: bool = False
-    migreq: bool = True
-    pad_count: int = 0
-    pkey: int = 0xFFFF
-    dest_qp: int = 0
-    ack_request: bool = False
-    psn: int = 0
-    # FECN-equivalent bit: RoCEv2 carries congestion in IP.ECN, but the
-    # BTH reserved byte is kept for layout fidelity.
-    becn: bool = False
+    __slots__ = ("opcode", "solicited", "migreq", "pad_count", "pkey",
+                 "dest_qp", "ack_request", "psn", "becn")
+    __hash__ = None
+
+    def __init__(self, opcode: Opcode = Opcode.SEND_ONLY,
+                 solicited: bool = False, migreq: bool = True,
+                 pad_count: int = 0, pkey: int = 0xFFFF, dest_qp: int = 0,
+                 ack_request: bool = False, psn: int = 0, becn: bool = False):
+        self.opcode = opcode
+        self.solicited = solicited
+        self.migreq = migreq
+        self.pad_count = pad_count
+        self.pkey = pkey
+        self.dest_qp = dest_qp
+        self.ack_request = ack_request
+        self.psn = psn
+        # FECN-equivalent bit: RoCEv2 carries congestion in IP.ECN, but
+        # the BTH reserved byte is kept for layout fidelity.
+        self.becn = becn
 
     def pack(self) -> bytes:
-        byte1 = (
+        return _BTH_PACK(
+            int(self.opcode),
+            # byte 1: SE | M | pad | transport version (0)
             (int(self.solicited) << 7)
             | (int(self.migreq) << 6)
-            | ((self.pad_count & 0x3) << 4)
-            | 0x0  # transport version
-        )
-        resv = int(self.becn) << 6
-        return struct.pack(
-            "!BBHB3sB3s",
-            int(self.opcode),
-            byte1,
+            | ((self.pad_count & 0x3) << 4),
             self.pkey,
-            resv,
+            int(self.becn) << 6,  # reserved byte carries the BECN bit
             (self.dest_qp & 0xFFFFFF).to_bytes(3, "big"),
             int(self.ack_request) << 7,
             (self.psn & 0xFFFFFF).to_bytes(3, "big"),
         )
 
     @classmethod
-    def unpack(cls, data: bytes) -> "BaseTransportHeader":
-        if len(data) < BTH_LEN:
+    def unpack(cls, data: bytes, offset: int = 0) -> "BaseTransportHeader":
+        if len(data) - offset < BTH_LEN:
             raise ValueError("truncated BTH")
-        opcode, byte1, pkey, resv, dqp, abyte, psn = struct.unpack(
-            "!BBHB3sB3s", data[:BTH_LEN]
-        )
+        opcode, byte1, pkey, resv, dqp, abyte, psn = _BTH.unpack_from(data,
+                                                                      offset)
+        try:
+            # Dict lookup instead of the (slow) EnumMeta call path.
+            opcode = _OPCODE_BY_VALUE[opcode]
+        except KeyError:
+            raise ValueError(f"{opcode} is not a valid Opcode") from None
         return cls(
-            opcode=Opcode(opcode),
-            solicited=bool(byte1 & 0x80),
-            migreq=bool(byte1 & 0x40),
-            pad_count=(byte1 >> 4) & 0x3,
-            pkey=pkey,
-            dest_qp=int.from_bytes(dqp, "big"),
-            ack_request=bool(abyte & 0x80),
-            psn=int.from_bytes(psn, "big"),
-            becn=bool(resv & 0x40),
+            opcode,
+            bool(byte1 & 0x80),          # solicited
+            bool(byte1 & 0x40),          # migreq
+            (byte1 >> 4) & 0x3,          # pad_count
+            pkey,
+            int.from_bytes(dqp, "big"),  # dest_qp
+            bool(abyte & 0x80),          # ack_request
+            int.from_bytes(psn, "big"),  # psn
+            bool(resv & 0x40),           # becn
         )
 
     def copy(self) -> "BaseTransportHeader":
@@ -355,45 +430,83 @@ class BaseTransportHeader:
             self.pkey, self.dest_qp, self.ack_request, self.psn, self.becn,
         )
 
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not BaseTransportHeader:
+            return NotImplemented
+        return (self.opcode == other.opcode
+                and self.solicited == other.solicited
+                and self.migreq == other.migreq
+                and self.pad_count == other.pad_count
+                and self.pkey == other.pkey
+                and self.dest_qp == other.dest_qp
+                and self.ack_request == other.ack_request
+                and self.psn == other.psn
+                and self.becn == other.becn)
 
-@dataclass
+    def __repr__(self) -> str:
+        return (f"BaseTransportHeader(opcode={self.opcode!r}, "
+                f"solicited={self.solicited!r}, migreq={self.migreq!r}, "
+                f"pad_count={self.pad_count!r}, pkey={self.pkey!r}, "
+                f"dest_qp={self.dest_qp!r}, ack_request={self.ack_request!r}, "
+                f"psn={self.psn!r}, becn={self.becn!r})")
+
+
 class RdmaExtendedHeader:
     """RETH: virtual address, rkey and DMA length (Write / Read request)."""
 
-    virtual_address: int = 0
-    rkey: int = 0
-    dma_length: int = 0
+    __slots__ = ("virtual_address", "rkey", "dma_length")
+    __hash__ = None
+
+    def __init__(self, virtual_address: int = 0, rkey: int = 0,
+                 dma_length: int = 0):
+        self.virtual_address = virtual_address
+        self.rkey = rkey
+        self.dma_length = dma_length
 
     def pack(self) -> bytes:
-        return struct.pack("!QII", self.virtual_address, self.rkey, self.dma_length)
+        return _RETH_PACK(self.virtual_address, self.rkey, self.dma_length)
 
     @classmethod
-    def unpack(cls, data: bytes) -> "RdmaExtendedHeader":
-        if len(data) < RETH_LEN:
+    def unpack(cls, data: bytes, offset: int = 0) -> "RdmaExtendedHeader":
+        if len(data) - offset < RETH_LEN:
             raise ValueError("truncated RETH")
-        va, rkey, dma_len = struct.unpack("!QII", data[:RETH_LEN])
-        return cls(virtual_address=va, rkey=rkey, dma_length=dma_len)
+        va, rkey, dma_len = _RETH.unpack_from(data, offset)
+        return cls(va, rkey, dma_len)
 
     def copy(self) -> "RdmaExtendedHeader":
         return RdmaExtendedHeader(self.virtual_address, self.rkey, self.dma_length)
 
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not RdmaExtendedHeader:
+            return NotImplemented
+        return (self.virtual_address == other.virtual_address
+                and self.rkey == other.rkey
+                and self.dma_length == other.dma_length)
 
-@dataclass
+    def __repr__(self) -> str:
+        return (f"RdmaExtendedHeader(virtual_address={self.virtual_address!r}, "
+                f"rkey={self.rkey!r}, dma_length={self.dma_length!r})")
+
+
 class AckExtendedHeader:
     """AETH: syndrome + MSN, carried by ACK/NAK and read-response packets."""
 
-    syndrome: int = 0
-    msn: int = 0
+    __slots__ = ("syndrome", "msn")
+    __hash__ = None
+
+    def __init__(self, syndrome: int = 0, msn: int = 0):
+        self.syndrome = syndrome
+        self.msn = msn
 
     def pack(self) -> bytes:
-        return struct.pack("!B3s", self.syndrome, (self.msn & 0xFFFFFF).to_bytes(3, "big"))
+        return _AETH_PACK(self.syndrome, (self.msn & 0xFFFFFF).to_bytes(3, "big"))
 
     @classmethod
-    def unpack(cls, data: bytes) -> "AckExtendedHeader":
-        if len(data) < AETH_LEN:
+    def unpack(cls, data: bytes, offset: int = 0) -> "AckExtendedHeader":
+        if len(data) - offset < AETH_LEN:
             raise ValueError("truncated AETH")
-        syndrome, msn = struct.unpack("!B3s", data[:AETH_LEN])
-        return cls(syndrome=syndrome, msn=int.from_bytes(msn, "big"))
+        syndrome, msn = _AETH.unpack_from(data, offset)
+        return cls(syndrome, int.from_bytes(msn, "big"))
 
     @property
     def is_ack(self) -> bool:
@@ -429,3 +542,11 @@ class AckExtendedHeader:
 
     def copy(self) -> "AckExtendedHeader":
         return AckExtendedHeader(self.syndrome, self.msn)
+
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not AckExtendedHeader:
+            return NotImplemented
+        return self.syndrome == other.syndrome and self.msn == other.msn
+
+    def __repr__(self) -> str:
+        return f"AckExtendedHeader(syndrome={self.syndrome!r}, msn={self.msn!r})"

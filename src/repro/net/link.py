@@ -102,30 +102,34 @@ class Port:
         """
         if self.peer is None:
             raise RuntimeError(f"port {self.name} is not connected")
+        size = packet.size
         now = self.sim.now
-        if self._tx_free_at <= now:
+        free_at = self._tx_free_at
+        if free_at <= now:
             self._queued_bytes = 0  # queue fully drained in the meantime
-        if self.queue_bytes is not None and self._queued_bytes + packet.size > self.queue_bytes:
+        if self.queue_bytes is not None and self._queued_bytes + size > self.queue_bytes:
             self.tx_drops += 1
             return False
-        start = max(now, self._tx_free_at)
-        ser = self.serialization_delay_ns(packet.size)
-        self._tx_free_at = start + ser
-        self._queued_bytes += packet.size
+        start = now if now > free_at else free_at
+        bw = self.bandwidth_bps
+        self._tx_free_at = free_at = start + (size * 8_000_000_000 + bw - 1) // bw
+        self._queued_bytes += size
         self.tx_packets += 1
-        self.tx_bytes += packet.size
+        self.tx_bytes += size
         if self.tx_tap is not None:
             self.tx_tap(packet)
-        arrival = self._tx_free_at + self.propagation_delay_ns
-        self.sim.schedule_at(arrival, self._deliver, packet)
+        self.sim.schedule_at(free_at + self.propagation_delay_ns,
+                             self._deliver, packet)
         return True
 
     def _deliver(self, packet: "Packet") -> None:
-        self._queued_bytes = max(0, self._queued_bytes - packet.size)
+        size = packet.size
+        queued = self._queued_bytes - size
+        self._queued_bytes = queued if queued > 0 else 0
         peer = self.peer
         assert peer is not None
         peer.rx_packets += 1
-        peer.rx_bytes += packet.size
+        peer.rx_bytes += size
         peer.node.handle_packet(peer, packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -16,12 +16,19 @@ event type          IPv4 TTL                   ``mirror_event_type``
 mirror sequence     Ethernet source MAC        ``mirror_seq``
 mirror timestamp    Ethernet destination MAC   ``mirror_timestamp_ns``
 ==================  =========================  =======================
+
+``Packet`` is a slotted class (not a dataclass): a run allocates one
+instance per simulated packet plus one per mirrored clone, and the
+dict-per-instance cost plus dataclass-generated method overhead was
+measurable in profiles. Semantics match the dataclass it replaced —
+field order, defaults, value-``__eq__`` over every real field including
+``packet_id`` (wire caches excluded), unhashable — and pickling for the
+spawn pool drops the caches so workers never ship stale wire bytes.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
 from .checksum import icrc_for
@@ -42,9 +49,19 @@ from .headers import (
     AETH_LEN,
 )
 
-__all__ = ["Packet", "EventType"]
+__all__ = ["Packet", "EventType", "pack_cache_hits"]
 
 _packet_ids = itertools.count(1)
+
+#: Process-wide count of pack_headers() calls served from the wire
+#: cache. Telemetry-only (the orchestrator records per-run deltas);
+#: never feeds simulation state.
+_pack_cache_hits = 0
+
+
+def pack_cache_hits() -> int:
+    """Cumulative pack_headers() cache hits in this process."""
+    return _pack_cache_hits
 
 
 class EventType:
@@ -64,32 +81,80 @@ class EventType:
              REWRITE: "rewrite", DELAY: "delay", REORDER: "reorder"}
 
 
-@dataclass
 class Packet:
     """A simulated RoCEv2 (or plain L2/L3) packet."""
 
-    eth: EthernetHeader = field(default_factory=EthernetHeader)
-    ip: Optional[Ipv4Header] = None
-    udp: Optional[UdpHeader] = None
-    bth: Optional[BaseTransportHeader] = None
-    reth: Optional[RdmaExtendedHeader] = None
-    aeth: Optional[AckExtendedHeader] = None
-    payload_len: int = 0
-    #: False once the event injector corrupts the packet: the receiving
-    #: RNIC's iCRC validation will fail and the packet is discarded.
-    icrc_ok: bool = True
-    #: Unique id for tracing/debugging inside the simulation only.
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    #: True on mirrored copies (set by the switch mirror block).
-    is_mirror: bool = False
-    # Wire-format caches. Headers are immutable between explicit switch
-    # rewrites, so serialisation results are reused until a mutation
-    # path calls :meth:`invalidate_wire_cache`. Excluded from equality:
-    # a cached and an uncached packet are the same packet.
-    _packed_headers: Optional[bytes] = field(
-        default=None, init=False, repr=False, compare=False)
-    _icrc_clean: Optional[int] = field(
-        default=None, init=False, repr=False, compare=False)
+    __slots__ = (
+        "eth", "ip", "udp", "bth", "reth", "aeth", "payload_len",
+        "icrc_ok", "packet_id", "is_mirror",
+        # Wire-format caches. Headers are immutable between explicit
+        # switch rewrites, so serialisation results are reused until a
+        # mutation path calls invalidate_wire_cache(). Excluded from
+        # equality and pickling: a cached and an uncached packet are
+        # the same packet.
+        "_packed_headers", "_icrc_clean", "_wire_size",
+    )
+    __hash__ = None  # value-equal, like the dataclass it replaced
+
+    def __init__(self,
+                 eth: Optional[EthernetHeader] = None,
+                 ip: Optional[Ipv4Header] = None,
+                 udp: Optional[UdpHeader] = None,
+                 bth: Optional[BaseTransportHeader] = None,
+                 reth: Optional[RdmaExtendedHeader] = None,
+                 aeth: Optional[AckExtendedHeader] = None,
+                 payload_len: int = 0,
+                 icrc_ok: bool = True,
+                 packet_id: Optional[int] = None,
+                 is_mirror: bool = False):
+        self.eth = eth if eth is not None else EthernetHeader()
+        self.ip = ip
+        self.udp = udp
+        self.bth = bth
+        self.reth = reth
+        self.aeth = aeth
+        self.payload_len = payload_len
+        #: False once the event injector corrupts the packet: the
+        #: receiving RNIC's iCRC validation will fail and the packet is
+        #: discarded.
+        self.icrc_ok = icrc_ok
+        #: Unique id for tracing/debugging inside the simulation only.
+        self.packet_id = packet_id if packet_id is not None else next(_packet_ids)
+        #: True on mirrored copies (set by the switch mirror block).
+        self.is_mirror = is_mirror
+        self._packed_headers: Optional[bytes] = None
+        self._icrc_clean: Optional[int] = None
+        self._wire_size: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Value semantics (dataclass-equivalent)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> object:
+        if other.__class__ is not Packet:
+            return NotImplemented
+        return (self.eth == other.eth
+                and self.ip == other.ip
+                and self.udp == other.udp
+                and self.bth == other.bth
+                and self.reth == other.reth
+                and self.aeth == other.aeth
+                and self.payload_len == other.payload_len
+                and self.icrc_ok == other.icrc_ok
+                and self.packet_id == other.packet_id
+                and self.is_mirror == other.is_mirror)
+
+    def __getstate__(self) -> tuple:
+        # Caches are process-local; rebuild lazily after unpickling.
+        return (self.eth, self.ip, self.udp, self.bth, self.reth, self.aeth,
+                self.payload_len, self.icrc_ok, self.packet_id, self.is_mirror)
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.eth, self.ip, self.udp, self.bth, self.reth, self.aeth,
+         self.payload_len, self.icrc_ok, self.packet_id,
+         self.is_mirror) = state
+        self._packed_headers = None
+        self._icrc_clean = None
+        self._wire_size = None
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -111,10 +176,18 @@ class Packet:
 
     @property
     def size(self) -> int:
-        """Total wire size in bytes (headers + payload + iCRC trailer)."""
-        size = self.header_len + self.payload_len
-        if self.bth is not None:
-            size += ICRC_LEN
+        """Total wire size in bytes (headers + payload + iCRC trailer).
+
+        Cached: links read it three times per hop, and headers attached
+        after construction (a QP bolting on a RETH/AETH) go through the
+        cold-cache path on first read.
+        """
+        size = self._wire_size
+        if size is None:
+            size = self.header_len + self.payload_len
+            if self.bth is not None:
+                size += ICRC_LEN
+            self._wire_size = size
         return size
 
     @property
@@ -147,11 +220,15 @@ class Packet:
         """
         self._packed_headers = None
         self._icrc_clean = None
+        self._wire_size = None
 
     def pack_headers(self) -> bytes:
         """Serialise all headers to wire bytes (no payload, no iCRC)."""
-        if self._packed_headers is not None:
-            return self._packed_headers
+        data = self._packed_headers
+        if data is not None:
+            global _pack_cache_hits
+            _pack_cache_hits += 1
+            return data
         data = self.eth.pack()
         if self.ip is not None:
             data += self.ip.pack()
@@ -188,18 +265,32 @@ class Packet:
         return value
 
     def copy(self) -> "Packet":
-        """Deep copy with a fresh packet id (used by the mirror block)."""
-        return Packet(
-            eth=self.eth.copy(),
-            ip=self.ip.copy() if self.ip is not None else None,
-            udp=self.udp.copy() if self.udp is not None else None,
-            bth=self.bth.copy() if self.bth is not None else None,
-            reth=self.reth.copy() if self.reth is not None else None,
-            aeth=self.aeth.copy() if self.aeth is not None else None,
-            payload_len=self.payload_len,
-            icrc_ok=self.icrc_ok,
-            is_mirror=self.is_mirror,
-        )
+        """Deep copy with a fresh packet id (used by the mirror block).
+
+        Built via ``__new__`` + direct slot stores: the mirror block
+        clones every RoCE packet, and skipping ``__init__``'s keyword
+        processing is a measurable win on that path.
+        """
+        clone = Packet.__new__(Packet)
+        clone.eth = self.eth.copy()
+        ip = self.ip
+        clone.ip = ip.copy() if ip is not None else None
+        udp = self.udp
+        clone.udp = udp.copy() if udp is not None else None
+        bth = self.bth
+        clone.bth = bth.copy() if bth is not None else None
+        reth = self.reth
+        clone.reth = reth.copy() if reth is not None else None
+        aeth = self.aeth
+        clone.aeth = aeth.copy() if aeth is not None else None
+        clone.payload_len = self.payload_len
+        clone.icrc_ok = self.icrc_ok
+        clone.packet_id = next(_packet_ids)
+        clone.is_mirror = self.is_mirror
+        clone._packed_headers = None
+        clone._icrc_clean = None
+        clone._wire_size = self._wire_size
+        return clone
 
     # ------------------------------------------------------------------
     # Mirror metadata accessors (decode the rewritten header fields)

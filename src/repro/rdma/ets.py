@@ -148,7 +148,9 @@ class EtsScheduler:
         best_qp: Optional["QueuePair"] = None
         for index in self._weighted_order:
             queue = self._queues[index]
-            if not queue.backlogged_qps():
+            # Truthiness only — avoid backlogged_qps()'s list build on
+            # the per-transmission path.
+            if not any(qp.has_pending_tx() for qp in queue.qps):
                 continue
             if not self.work_conserving and queue.shaper_free_at > now:
                 earliest = min(earliest, queue.shaper_free_at)

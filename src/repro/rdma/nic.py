@@ -145,26 +145,31 @@ class RdmaNic(Node):
     # RX path
     # ------------------------------------------------------------------
     def handle_packet(self, port: Port, packet: Packet) -> None:
-        if self.sim.now < self._stall_until:
+        now = self.sim.now
+        if now < self._stall_until:
             # Noisy-neighbor stall: the pipeline discards everything.
             self.counters.incr("rx_discards_phy")
-            self._cov_nic.hit("stall-discard", self.sim.now)
+            self._cov_nic.hit("stall-discard", now)
             return
-        if not packet.is_roce:
+        if packet.bth is None:
             return
-        self.counters.incr("rx_packets")
-        self.counters.incr("rx_bytes", packet.size)
+        counters = self.counters
+        counters.incr("rx_packets")
+        counters.incr("rx_bytes", packet.size)
         if not packet.icrc_ok:
-            self.counters.incr("rx_icrc_errors")
-            self._cov_nic.hit("icrc-discard", self.sim.now)
-            self._rec.note(self.sim.now, "icrc-discard",
+            counters.incr("rx_icrc_errors")
+            self._cov_nic.hit("icrc-discard", now)
+            self._rec.note(now, "icrc-discard",
                            f"qpn={packet.bth.dest_qp} psn={packet.bth.psn}")
             return
         if self._divert_to_migreq_slowpath(packet):
             return
-        delay = self.rng.jitter_ns(self.profile.rx_pipeline_ns,
-                                   self.profile.latency_jitter_frac)
-        dispatch_at = max(self.sim.now + delay, self._rx_dispatch_floor)
+        profile = self.profile
+        delay = self.rng.jitter_ns(profile.rx_pipeline_ns,
+                                   profile.latency_jitter_frac)
+        dispatch_at = now + delay
+        if dispatch_at < self._rx_dispatch_floor:
+            dispatch_at = self._rx_dispatch_floor
         self._rx_dispatch_floor = dispatch_at
         self.sim.schedule_at(dispatch_at, self._dispatch, packet)
 
@@ -306,10 +311,14 @@ class RdmaNic(Node):
 
     def _transmit(self, packet: Packet, qp: Optional[QueuePair]) -> None:
         now = self.sim.now
-        self.port.send(packet)
-        self.counters.incr("tx_packets")
-        self.counters.incr("tx_bytes", packet.size)
-        self._tx_busy_until = now + self.port.serialization_delay_ns(packet.size)
+        size = packet.size
+        port = self.port
+        port.send(packet)
+        counters = self.counters
+        counters.incr("tx_packets")
+        counters.incr("tx_bytes", size)
+        busy_until = now + port.serialization_delay_ns(size)
+        self._tx_busy_until = busy_until
         if qp is not None:
-            self.ets.account(qp, now, packet.size)
-        self._request_kick(self._tx_busy_until)
+            self.ets.account(qp, now, size)
+        self._request_kick(busy_until)

@@ -74,7 +74,7 @@ class QpState(str, Enum):
     ERROR = "error"
 
 
-@dataclass
+@dataclass(slots=True)
 class _PacketTemplate:
     """Everything needed to (re)build one data packet of the request stream."""
 
@@ -224,19 +224,27 @@ class QueuePair:
 
     def dequeue_tx(self) -> Packet:
         packet = self.pending_tx.popleft()
+        bth = packet.bth
+        psn = bth.psn
         if self.dcqcn_enabled:
-            rate = max(1, self.dcqcn.rate_bps)
-            gap = packet.size * 8 * 1_000_000_000 // rate
-            self._pacing_next = max(self.sim.now, self._pacing_next) + gap
-            self.dcqcn.on_bytes_sent(packet.size)
-        template = self._templates.get(packet.bth.psn)
-        if template is not None and self._highest_psn_sent is not None and \
-                psn_geq(self._highest_psn_sent, packet.bth.psn):
+            size = packet.size
+            rate = self.dcqcn.rate_bps
+            if rate < 1:
+                rate = 1
+            gap = size * 8_000_000_000 // rate
+            now = self.sim.now
+            prev = self._pacing_next
+            self._pacing_next = (now if now > prev else prev) + gap
+            self.dcqcn.on_bytes_sent(size)
+        highest = self._highest_psn_sent
+        if highest is not None and psn in self._templates and \
+                psn_geq(highest, psn):
             self.nic.counters.incr("retransmitted_packets")
             self.nic._m_retrans.inc()
-        if packet.bth.opcode.is_data or packet.bth.opcode == Opcode.RDMA_READ_REQUEST:
-            if self._highest_psn_sent is None or psn_geq(packet.bth.psn, self._highest_psn_sent):
-                self._highest_psn_sent = packet.bth.psn
+        opcode = bth.opcode
+        if opcode.is_data or opcode == Opcode.RDMA_READ_REQUEST:
+            if highest is None or psn_geq(psn, highest):
+                self._highest_psn_sent = psn
         return packet
 
     # ------------------------------------------------------------------
@@ -325,24 +333,27 @@ class QueuePair:
     # Packet builders
     # ------------------------------------------------------------------
     def _headers(self, payload_len: int, opcode: Opcode) -> Packet:
-        packet = Packet(
-            eth=EthernetHeader(dst_mac=self.dest_mac, src_mac=self.nic.mac),
-            ip=Ipv4Header(src_ip=self.src_ip, dst_ip=self.dest_ip, ecn=ECN_ECT0),
-            udp=UdpHeader(src_port=0xC000 | (self.qp_num & 0x3FFF),
-                          dst_port=ROCEV2_UDP_PORT),
-            bth=BaseTransportHeader(
-                opcode=opcode,
+        # Positional header construction: this runs once per data packet
+        # of every posted message, and keyword processing was measurable.
+        return Packet(
+            EthernetHeader(self.dest_mac, self.nic.mac),
+            Ipv4Header(self.src_ip, self.dest_ip, ecn=ECN_ECT0),
+            UdpHeader(0xC000 | (self.qp_num & 0x3FFF), ROCEV2_UDP_PORT),
+            BaseTransportHeader(
+                opcode,
                 dest_qp=self.dest_qp_num,
                 migreq=bool(self.profile.migreq_initial),
             ),
             payload_len=payload_len,
         )
-        return packet
 
     def _finalize_lengths(self, packet: Packet) -> Packet:
-        assert packet.ip is not None and packet.udp is not None
-        packet.ip.total_length = packet.size - 14  # everything after Ethernet
-        packet.udp.length = packet.ip.total_length - 20
+        ip = packet.ip
+        udp = packet.udp
+        assert ip is not None and udp is not None
+        total = packet.size - 14  # everything after Ethernet
+        ip.total_length = total
+        udp.length = total - 20
         return packet
 
     def _build_from_template(self, template: _PacketTemplate) -> Packet:

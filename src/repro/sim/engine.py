@@ -6,16 +6,23 @@ callbacks on a single :class:`Simulator`. Time is kept as an integer
 number of nanoseconds so runs are exactly reproducible — there is no
 floating-point drift and no dependence on wall-clock time.
 
-The engine is deliberately small: a binary heap of timestamped events,
-a monotonically increasing sequence number to break ties determinist-
-ically, and cancellation support. Coroutine-style processes are layered
-on top in :mod:`repro.sim.process`.
+Pending events live in a bucketed timer structure: a dict keyed by the
+absolute tick holds each tick's FIFO of events, and a binary heap of
+the *distinct* tick values orders the buckets. The engine's sequence
+counter is monotonic, so plain list appends keep every bucket in exact
+``(time, seq)`` order — scheduling into an existing tick (the same-tick
+fan-out and zero-delay hand-offs that dominate switch pipelines) is
+O(1) with no heap traffic and no Python-level comparisons, and the heap
+only ever compares machine ints (C-speed), never :class:`Event`
+objects. The dominant per-link serialization delays land one int per
+distinct arrival tick in the heap; bursts arriving on the same tick
+share a bucket.
 
-Cancelled events are not removed from the heap eagerly (heap deletion
-is O(n)); instead the engine keeps live/cancelled counts and compacts
-the heap lazily once cancelled entries outnumber live ones — so long
+Cancelled events are not removed eagerly (bucket deletion is O(n));
+instead the engine keeps live/cancelled counts and compacts the
+buckets lazily once cancelled entries outnumber live ones — so long
 runs that arm and defuse millions of retransmission timers neither leak
-heap memory nor pay per-cancel restructuring costs.
+memory nor pay per-cancel restructuring costs.
 
 Observability: the engine itself stays telemetry-free, but exposes a
 ``probe`` attribute (default ``None``). When :mod:`repro.telemetry`
@@ -26,9 +33,8 @@ and reports queue depth — one attribute check per event when disabled.
 from __future__ import annotations
 
 import heapq
-import itertools
 from time import perf_counter_ns
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -41,6 +47,11 @@ SEC = 1_000_000_000
 
 #: Queues smaller than this are never compacted (not worth the churn).
 _COMPACT_MIN_QUEUE = 64
+
+#: Integer budget sentinel: "no max_events bound". The run loop counts
+#: the budget *down to zero*, so any negative start never terminates it
+#: — int comparisons only, no float("inf") on the per-event path.
+_UNBOUNDED = -1
 
 
 class SimulationError(RuntimeError):
@@ -83,22 +94,41 @@ class Event:
         return f"<Event t={self.time} fn={getattr(self.fn, '__name__', self.fn)} {state}>"
 
 
+#: object.__new__ hoisted for the schedule fast paths.
+_new_event = Event.__new__
+
+
 class Simulator:
     """Deterministic discrete-event simulator with nanosecond resolution.
 
     Events scheduled for the same tick fire in scheduling order (FIFO),
     which makes multi-component models reproducible without explicit
     tie-breaking by the caller.
+
+    Slotted: the dispatch loop touches simulator state on every event,
+    and slot access is measurably cheaper than an instance dict.
     """
+
+    __slots__ = ("_now", "_seq", "_running", "_processed", "_live",
+                 "_cancelled", "_size", "_times", "_buckets", "_active",
+                 "_active_pos", "_active_time", "probe")
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._seq = 0  # next tie-break sequence number (plain int: cheaper than an iterator on the schedule fast path)
         self._running = False
         self._processed = 0
         self._live = 0        # queued events that are not cancelled
-        self._cancelled = 0   # cancelled events still sitting in the heap
+        self._cancelled = 0   # cancelled events still sitting in buckets
+        self._size = 0        # all queued events, cancelled included
+        # Timer buckets: tick -> FIFO of events, ordered by a heap of
+        # the distinct tick values. The bucket being drained is held
+        # aside in _active so same-tick appends stay O(1) list pushes.
+        self._times: List[int] = []
+        self._buckets: Dict[int, List[Event]] = {}
+        self._active: List[Event] = []
+        self._active_pos = 0
+        self._active_time: Optional[int] = None
         #: Optional telemetry probe (duck-typed; see repro.telemetry).
         self.probe = None
 
@@ -119,8 +149,8 @@ class Simulator:
 
     @property
     def queue_size(self) -> int:
-        """Heap entries, including not-yet-compacted cancelled events."""
-        return len(self._queue)
+        """Queued events, including not-yet-compacted cancelled ones."""
+        return self._size
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now.
@@ -130,9 +160,28 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ns in the past")
-        event = Event(self._now + int(delay), next(self._seq), fn, args, self)
-        heapq.heappush(self._queue, event)
+        time = self._now + int(delay)
+        # Event built via __new__ + slot stores (skips the __init__
+        # frame), then filed inline: the hottest allocation site.
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq = self._seq
+        self._seq = seq + 1
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event._sim = self
+        if time == self._active_time:
+            self._active.append(event)
+        else:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [event]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append(event)
         self._live += 1
+        self._size += 1
         return event
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
@@ -141,24 +190,56 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
-        event = Event(int(time), next(self._seq), fn, args, self)
-        heapq.heappush(self._queue, event)
+        time = int(time)
+        # Same fast construction + inline filing as schedule().
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq = self._seq
+        self._seq = seq + 1
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event._sim = self
+        if time == self._active_time:
+            self._active.append(event)
+        else:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [event]
+                heapq.heappush(self._times, time)
+            else:
+                bucket.append(event)
         self._live += 1
+        self._size += 1
         return event
 
     def _note_cancel(self) -> None:
         """A queued event was cancelled; compact once they dominate."""
         self._live -= 1
         self._cancelled += 1
-        if self._cancelled * 2 > len(self._queue) \
-                and len(self._queue) >= _COMPACT_MIN_QUEUE:
+        if self._cancelled * 2 > self._size and self._size >= _COMPACT_MIN_QUEUE:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (amortised O(n))."""
-        self._queue = [e for e in self._queue if not e.cancelled]
-        heapq.heapify(self._queue)
+        """Drop cancelled entries and rebuild the buckets (amortised O(n)).
+
+        Filtering preserves append order, so every rebuilt bucket stays
+        seq-sorted; the times heap is rebuilt from the surviving ticks.
+        """
+        tail = [e for e in self._active[self._active_pos:] if not e.cancelled]
+        consumed = self._active_pos
+        self._active = self._active[:consumed] + tail
+        buckets: Dict[int, List[Event]] = {}
+        for time, events in self._buckets.items():
+            live = [e for e in events if not e.cancelled]
+            if live:
+                buckets[time] = live
+        self._buckets = buckets
+        # In place: the run loop holds an alias to this list. A sorted
+        # list is a valid heap.
+        self._times[:] = sorted(buckets)
         self._cancelled = 0
+        self._size = len(tail) + sum(len(b) for b in buckets.values())
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
@@ -171,20 +252,48 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
-        budget = max_events if max_events is not None else float("inf")
+        # Unbounded runs skip budget arithmetic entirely: a per-event
+        # integer decrement allocates outside CPython's small-int cache.
+        bounded = max_events is not None
+        budget = int(max_events) if bounded else 0
         probe = self.probe
+        times = self._times
+        processed = 0
         try:
-            while self._queue and budget > 0:
-                event = self._queue[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._queue)
+            if until is not None and self._active_time is not None \
+                    and self._active_pos < len(self._active) \
+                    and self._active_time > until:
+                # A bounded previous run left a bucket beyond this
+                # window half-drained; nothing to do inside it.
+                bounded = True
+                budget = 0
+            heappop = heapq.heappop
+            while not bounded or budget > 0:
+                pos = self._active_pos
+                active = self._active
+                try:
+                    event = active[pos]
+                except IndexError:
+                    # Bucket drained: activate the earliest pending one.
+                    if not times:
+                        break
+                    time = times[0]
+                    if until is not None and time > until:
+                        break
+                    heappop(times)
+                    active = self._buckets.pop(time)
+                    self._active = active
+                    self._active_time = time
+                    self._now = time
+                    pos = 0
+                    event = active[0]  # buckets are created non-empty
+                self._active_pos = pos + 1
+                self._size -= 1
                 if event.cancelled:
                     self._cancelled -= 1
                     continue
                 event._sim = None  # popped: late cancels are accounting no-ops
                 self._live -= 1
-                self._now = event.time
                 if probe is None:
                     event.fn(*event.args)
                 else:
@@ -192,9 +301,18 @@ class Simulator:
                     event.fn(*event.args)
                     probe.record(event.fn, perf_counter_ns() - wall_start,
                                  self._now, self._live)
-                self._processed += 1
-                budget -= 1
+                processed += 1
+                if bounded:
+                    budget -= 1
+            if self._active_pos >= len(self._active) and self._active:
+                # Free processed events; keep _active_time so zero-delay
+                # appends at the current tick still take the fast path.
+                self._active = []
+                self._active_pos = 0
         finally:
+            # Batched: callbacks never read the processed tally mid-run,
+            # and one attribute store replaces one per event.
+            self._processed += processed
             self._running = False
         if until is not None and self._now < until:
             self._now = until
@@ -209,11 +327,19 @@ class Simulator:
         sequence, so a reset simulator reproduces the exact event IDs and
         ordering of a fresh one (telemetry span IDs rely on this).
         """
-        for event in self._queue:
+        for event in self._active[self._active_pos:]:
             event._sim = None  # detach: late cancels must not touch counts
-        self._queue.clear()
+        for bucket in self._buckets.values():
+            for event in bucket:
+                event._sim = None
+        self._times.clear()  # in place: run() may hold an alias
+        self._buckets = {}
+        self._active = []
+        self._active_pos = 0
+        self._active_time = None
         self._now = 0
         self._processed = 0
-        self._seq = itertools.count()
+        self._seq = 0
         self._live = 0
         self._cancelled = 0
+        self._size = 0

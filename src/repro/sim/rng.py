@@ -58,6 +58,21 @@ class SimRandom:
         """Uniform integer in [lo, hi] inclusive."""
         return self._rng.randint(lo, hi)
 
+    def ephemeral_port(self) -> int:
+        """Uniform port in [1024, 65535].
+
+        Stream-identical to ``randint(1024, 65535)`` — it replicates
+        CPython's ``Random._randbelow`` rejection sampling for a 16-bit
+        span over the same ``getrandbits`` source — but skips the
+        randint/randrange/_randbelow call tower. The mirror block draws
+        one per captured packet, which made the tower measurable.
+        """
+        getrandbits = self._rng.getrandbits
+        r = getrandbits(16)
+        while r >= 64512:  # 65535 - 1024 + 1
+            r = getrandbits(16)
+        return 1024 + r
+
     def uniform(self, lo: float, hi: float) -> float:
         return self._rng.uniform(lo, hi)
 
@@ -83,7 +98,12 @@ class SimRandom:
         if base_ns <= 0:
             return max(0, base_ns)
         spread = base_ns * fraction
-        return max(0, int(base_ns + self._rng.uniform(-spread, spread)))
+        # uniform(-spread, spread) inlined with identical evaluation
+        # order (spread - (-spread) == 2.0 * spread exactly in IEEE
+        # 754), so the jitter stays bit-identical to the uniform() call
+        # it replaces.
+        jittered = int(base_ns + (-spread + 2.0 * spread * self._rng.random()))
+        return jittered if jittered > 0 else 0
 
     def qpn(self) -> int:
         """A random 24-bit queue pair number, as RNICs allocate at runtime."""

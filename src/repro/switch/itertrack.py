@@ -30,7 +30,7 @@ def _psn_later(a: int, b: int) -> bool:
     return a != b and ((a - b) & _PSN_MASK) < _HALF
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnState:
     """Per-connection registers (one Tofino register pair each)."""
 
@@ -49,17 +49,19 @@ class IterTracker:
     def update(self, src_ip: int, dst_ip: int, dst_qpn: int, psn: int,
                now_ns: int = 0) -> int:
         """Process one packet; returns the ITER it belongs to."""
-        key = (src_ip, dst_ip, dst_qpn)
-        state = self._conns.get(key)
+        state = self._conns.get((src_ip, dst_ip, dst_qpn))
         if state is None:
             if len(self._conns) >= self.max_connections:
                 raise RuntimeError(
                     f"ITER tracker full ({self.max_connections} connections)"
                 )
             state = ConnState()
-            self._conns[key] = state
+            self._conns[(src_ip, dst_ip, dst_qpn)] = state
             self._cov.hit("new-connection", now_ns)
-        if state.last_psn is None or _psn_later(psn, state.last_psn):
+        last = state.last_psn
+        # _psn_later inlined: this runs once per captured packet, both
+        # in the switch and again during trace reconstruction.
+        if last is None or (psn != last and ((psn - last) & _PSN_MASK) < _HALF):
             self._cov.hit("in-order-advance", now_ns)
         else:
             state.iteration += 1

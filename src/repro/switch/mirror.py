@@ -110,11 +110,13 @@ class MirrorBlock:
         # A dropped or corrupted original must still be dumped intact.
         clone.icrc_ok = True
         clone.ip.ttl = event_code & 0xFF
-        clone.eth.src_mac = self.mirror_seq & _MASK48
-        clone.eth.dst_mac = now_ns & _MASK48
+        eth = clone.eth
+        eth.src_mac = self.mirror_seq & _MASK48
+        eth.dst_mac = now_ns & _MASK48
         if self.randomize_udp_port and clone.udp is not None:
-            clone.udp.dst_port = self._rng.randint(1024, 65535)
-        clone.invalidate_wire_cache()
+            clone.udp.dst_port = self._rng.ephemeral_port()
+        # No invalidate_wire_cache(): copy() starts with cold caches and
+        # nothing above can have warmed them.
         self.mirror_seq += 1
         self.mirrored_packets += 1
         target = self._pick_target()

@@ -98,6 +98,9 @@ class TofinoSwitch(Node):
         cov = coverage.current()
         self._cov = cov.domain("switch.pipeline")
         self._rec = cov.recorder(f"switch:{name}")
+        # Feature flags are fixed after construction, so the per-packet
+        # ingress delay is a constant; cache it off the hot path.
+        self._latency_ns = self.pipeline_latency_ns
 
     # ------------------------------------------------------------------
     # Topology / control plane
@@ -140,47 +143,49 @@ class TofinoSwitch(Node):
     # Data plane
     # ------------------------------------------------------------------
     def handle_packet(self, port: Port, packet: Packet) -> None:
-        self.sim.schedule(self.pipeline_latency_ns, self._process, packet)
+        self.sim.schedule(self._latency_ns, self._process, packet)
 
     def _process(self, packet: Packet) -> None:
         event_code = EventType.NONE
         entry: Optional[EventEntry] = None
-        if packet.is_roce and packet.ip is not None:
+        bth = packet.bth
+        ip = packet.ip
+        if bth is not None and ip is not None:
+            now = self.sim.now
             self.roce_rx_packets += 1
             self._m_rx.inc()
             for rule in self.rewrite_rules:
                 if rule.matches(packet):
                     rule.apply(packet)
-                    self._cov.hit("rewrite-applied", self.sim.now)
+                    self._cov.hit("rewrite-applied", now)
             # ITER update runs for every RoCE packet (Fig. 3); the event
             # match additionally requires a data opcode (footnote 2).
             iteration = self.iter_tracker.update(
-                packet.ip.src_ip, packet.ip.dst_ip, packet.bth.dest_qp,
-                packet.bth.psn, now_ns=self.sim.now,
+                ip.src_ip, ip.dst_ip, bth.dest_qp, bth.psn, now_ns=now,
             )
-            if self.event_injection and packet.bth.opcode.is_data:
+            if self.event_injection and bth.opcode.is_data:
                 self._m_lookups.inc()
                 entry = self.event_table.lookup(
-                    packet.ip.src_ip, packet.ip.dst_ip, packet.bth.dest_qp,
-                    packet.bth.psn, iteration, now_ns=self.sim.now,
+                    ip.src_ip, ip.dst_ip, bth.dest_qp,
+                    bth.psn, iteration, now_ns=now,
                 )
                 if entry is not None:
                     event_code = EventAction.CODES[entry.action]
                     self._m_matches[entry.action].inc()
-                    self._cov.hit(f"event-{entry.action}", self.sim.now)
+                    self._cov.hit(f"event-{entry.action}", now)
                     self._rec.note(
-                        self.sim.now, f"inject-{entry.action}",
-                        f"qpn={packet.bth.dest_qp} psn={packet.bth.psn} "
+                        now, f"inject-{entry.action}",
+                        f"qpn={bth.dest_qp} psn={bth.psn} "
                         f"iter={iteration}")
                     if self._tel is not None:
                         self._tel.instant(
                             f"switch.event.{entry.action}", pid="switch",
                             tid="ingress", category="inject",
-                            qpn=packet.bth.dest_qp, psn=packet.bth.psn,
+                            qpn=bth.dest_qp, psn=bth.psn,
                             iter=iteration)
             # Mirror at ingress, before the drop takes effect (§3.4).
             if self.mirroring:
-                self.mirror.mirror(packet, self.sim.now, event_code)
+                self.mirror.mirror(packet, now, event_code)
         if entry is not None:
             if entry.action == EventAction.DROP:
                 self.dropped_by_event += 1
@@ -208,9 +213,8 @@ class TofinoSwitch(Node):
                 self._reorder_held[conn] = (packet, safety)
                 return
         self._forward(packet)
-        if packet.is_roce and packet.ip is not None:
-            self._release_held(
-                (packet.ip.src_ip, packet.ip.dst_ip, packet.bth.dest_qp))
+        if bth is not None and ip is not None:
+            self._release_held((ip.src_ip, ip.dst_ip, bth.dest_qp))
 
     def _release_held(self, conn: tuple) -> None:
         held = self._reorder_held.pop(conn, None)
@@ -222,19 +226,20 @@ class TofinoSwitch(Node):
         self._forward(packet)
 
     def _forward(self, packet: Packet) -> None:
-        if packet.ip is None:
+        ip = packet.ip
+        if ip is None:
             return
-        out_port = self._forwarding.get(packet.ip.dst_ip)
+        out_port = self._forwarding.get(ip.dst_ip)
         if out_port is None:
             return
-        if packet.is_roce:
+        if packet.bth is not None:
             self.roce_tx_packets += 1
             self._m_tx.inc()
             if (self.ecn_threshold_bytes is not None
                     and packet.bth.opcode.is_data
-                    and packet.ip.ecn != ECN_CE
+                    and ip.ecn != ECN_CE
                     and out_port.queued_bytes > self.ecn_threshold_bytes):
-                packet.ip.ecn = ECN_CE
+                ip.ecn = ECN_CE
                 packet.invalidate_wire_cache()
                 self.ecn_marked_by_queue += 1
                 self._cov.hit("queue-ecn-mark", self.sim.now)

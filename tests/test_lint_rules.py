@@ -30,7 +30,7 @@ def codes(findings):
 # ----------------------------------------------------------------------
 def test_registry_has_all_shipped_rules():
     assert set(RULES) == {"DET001", "DET002", "DET003", "DET004",
-                          "EXEC001", "TEL001", "API001"}
+                          "EXEC001", "TEL001", "API001", "PERF001"}
 
 
 def test_findings_sorted_and_located():
@@ -520,6 +520,60 @@ def test_api001_suppressed():
         def hack(sim):
             sim._now = 0  # repro-lint: ignore[API001]
     """, path="repro/core/hack.py") == []
+
+
+# ----------------------------------------------------------------------
+# PERF001 — literal struct format strings on the packet hot path
+# ----------------------------------------------------------------------
+def test_perf001_positive_literal_pack_and_aliased_unpack():
+    findings = lint("""
+        import struct
+        from struct import unpack as u
+
+        def encode(h):
+            return struct.pack("!HHHH", h.a, h.b, h.c, 0)
+
+        def decode(data):
+            return u("!HHHH", data[:8])
+    """, path="repro/net/sample.py")
+    assert codes(findings) == ["PERF001", "PERF001"]
+    assert "struct.Struct" in findings[0].message
+
+
+def test_perf001_negative_precompiled_struct_and_dynamic_format():
+    assert lint("""
+        import struct
+
+        _UDP = struct.Struct("!HHHH")
+
+        def encode(h):
+            return _UDP.pack(h.a, h.b, h.c, 0)
+
+        def flexible(fmt, data):
+            return struct.unpack(fmt, data)
+    """, path="repro/net/sample.py") == []
+
+
+def test_perf001_negative_outside_packet_path():
+    # Cold-path code (store/, telemetry/, ...) may pack ad hoc.
+    assert lint("""
+        import struct
+
+        def checkpoint(v):
+            return struct.pack("!I", v)
+    """, path="repro/store/blob.py") == []
+
+
+def test_perf001_suppressed_counts_in_stats():
+    stats = FileStats()
+    findings = lint("""
+        import struct
+
+        def one_shot(v):
+            return struct.pack("!I", v)  # repro-lint: ignore[PERF001]
+    """, path="repro/rdma/sample.py", stats=stats)
+    assert findings == []
+    assert stats.suppressed == 1
 
 
 # ----------------------------------------------------------------------
