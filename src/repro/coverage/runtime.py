@@ -192,14 +192,16 @@ def enable(out_dir: Optional[str] = None,
     """Activate a fresh coverage session (replacing any existing one)."""
     global _current
     new_session = CoverageSession(out_dir=out_dir, ring_size=ring_size)
-    _current = new_session
+    # repro-lint: ignore[RACE001] — session lifecycle singleton: workers
+    # enable/disable their own session and maps travel via snapshots.
+    _current = new_session  # repro-lint: ignore[RACE001]
     return new_session
 
 
 def disable() -> None:
     """Deactivate coverage; components fall back to no-op twins."""
     global _current
-    _current = NULL_COVERAGE
+    _current = NULL_COVERAGE  # repro-lint: ignore[RACE001] — lifecycle
 
 
 def current():

@@ -42,13 +42,15 @@ def _rss_hash(src_ip: int, dst_ip: int, src_port: int, dst_port: int) -> int:
     value = _rss_prefix_cache.get(key)
     if value is None:
         if len(_rss_prefix_cache) >= 4096:
-            _rss_prefix_cache.clear()
+            # repro-lint: ignore[RACE001] — idempotent memo cache keyed by
+            # pure inputs; a per-worker copy changes speed, never results.
+            _rss_prefix_cache.clear()  # repro-lint: ignore[RACE001]
         value = 0x811C9DC5
         for word in (src_ip, dst_ip, src_port):
             for shift in (24, 16, 8, 0):
                 value ^= (word >> shift) & 0xFF
                 value = (value * _FNV_PRIME) & 0xFFFFFFFF
-        _rss_prefix_cache[key] = value
+        _rss_prefix_cache[key] = value  # repro-lint: ignore[RACE001] — memo
     # Unrolled fold of dst_port's four big-endian bytes.
     value ^= (dst_port >> 24) & 0xFF
     value = (value * _FNV_PRIME) & 0xFFFFFFFF

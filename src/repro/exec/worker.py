@@ -28,7 +28,9 @@ IN_WORKER = False
 def init_worker() -> None:
     """Pool initializer: mark this process as an expendable worker."""
     global IN_WORKER
-    IN_WORKER = True
+    # repro-lint: ignore[RACE001] — the flag exists precisely to differ
+    # between worker and parent processes; it never feeds results.
+    IN_WORKER = True  # repro-lint: ignore[RACE001]
 
 
 def invoke(task_fn: Callable[[Any], Any], payload: Any,

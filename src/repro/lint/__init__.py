@@ -15,11 +15,16 @@ framework (stdlib :mod:`ast` only):
 * :mod:`repro.lint.findings` — the :class:`Finding` record and severities,
 * :mod:`repro.lint.context`  — per-module parse context: import-alias
   resolution, inline suppressions, light type inference,
-* :mod:`repro.lint.rules`    — the rule registry and the shipped rules
-  (DET001–DET004, EXEC001, TEL001, API001),
+* :mod:`repro.lint.rules`    — the rule registry and the per-module
+  rules (DET001–DET004, EXEC001, TEL001, API001, PERF001),
+* :mod:`repro.lint.callgraph` — the whole-program model: an
+  alias-resolving cross-module call graph with receiver-type inference,
+* :mod:`repro.lint.dataflow` — transitive analyses on that graph
+  (FLOW001 wall-clock taint, FLOW002 RNG provenance, RACE001
+  spawn-safety races, UNIT001 unit consistency),
 * :mod:`repro.lint.baseline` — fingerprinting + the committed baseline
-  that masks pre-existing findings,
-* :mod:`repro.lint.reporters` — text and JSON output,
+  that masks pre-existing findings (every entry carries a reason),
+* :mod:`repro.lint.reporters` — text, JSON and SARIF output,
 * :mod:`repro.lint.cli`      — the ``python -m repro.lint`` /
   ``python -m repro lint`` entry point.
 
@@ -31,11 +36,14 @@ out with ``# repro-lint: skip-file``.
 from __future__ import annotations
 
 from .baseline import Baseline, fingerprint_findings
+from .callgraph import Program
 from .context import ModuleContext
+from .dataflow import run_program_rules, worker_root_qnames
 from .findings import Finding, Severity
 from .rules import RULES, all_rules, get_rule, run_rules
 
 __all__ = [
     "Finding", "Severity", "ModuleContext", "Baseline",
     "fingerprint_findings", "RULES", "all_rules", "get_rule", "run_rules",
+    "Program", "run_program_rules", "worker_root_qnames",
 ]

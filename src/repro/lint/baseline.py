@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .findings import Finding
 
@@ -85,14 +85,27 @@ class Baseline:
         return fingerprint in self.entries
 
     @classmethod
-    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+    def from_findings(cls, findings: Iterable[Finding],
+                      previous: Optional["Baseline"] = None) -> "Baseline":
+        """Build from current findings; ``previous`` carries reasons over.
+
+        Every entry has a ``reason`` field documenting *why* the finding
+        is tolerated. On ``--update-baseline`` the reasons of persisting
+        fingerprints survive from the committed file; genuinely new
+        entries get a ``TODO`` placeholder the CLI warns about.
+        """
         entries: Dict[str, Dict[str, object]] = {}
         for fingerprint, finding in fingerprint_findings(findings):
+            reason = "TODO: justify or fix"
+            if previous is not None and fingerprint in previous.entries:
+                reason = str(previous.entries[fingerprint].get(
+                    "reason", reason))
             entries[fingerprint] = {
                 "code": finding.code,
                 "path": finding.path,
                 "snippet": finding.snippet,
                 "message": finding.message,
+                "reason": reason,
             }
         return cls(entries)
 
@@ -104,3 +117,29 @@ class Baseline:
         for fingerprint, finding in fingerprint_findings(findings):
             (masked if fingerprint in self.entries else new).append(finding)
         return new, masked
+
+    def stale_fingerprints(self, findings: Iterable[Finding]) -> List[str]:
+        """Entries whose fingerprint matches no current finding.
+
+        A stale entry is dead weight that would silently re-mask a
+        future regression landing on the same line text; CI fails while
+        any exist (fix: ``lint --prune-baseline``).
+        """
+        live = {fp for fp, _ in fingerprint_findings(findings)}
+        return sorted(fp for fp in self.entries if fp not in live)
+
+    def prune(self, findings: Iterable[Finding]) -> List[str]:
+        """Drop stale entries in place; returns the dropped fingerprints."""
+        stale = self.stale_fingerprints(findings)
+        for fp in stale:
+            del self.entries[fp]
+        return stale
+
+    def reasonless_fingerprints(self) -> List[str]:
+        """Entries lacking a real reason (missing or TODO placeholder)."""
+        out: List[str] = []
+        for fp in sorted(self.entries):
+            reason = str(self.entries[fp].get("reason", "")).strip()
+            if not reason or reason.upper().startswith("TODO"):
+                out.append(fp)
+        return out

@@ -2,25 +2,43 @@
 
 Walks every ``*.py`` under the target root (default: the installed
 ``repro`` package itself), builds a :class:`ModuleContext` per file,
-runs the registered rules, subtracts inline suppressions and the
-committed baseline, and renders text or JSON.
+runs the registered per-module rules plus the whole-program analyses
+(call-graph taint, RNG provenance, spawn races, unit checking),
+subtracts inline suppressions and the committed baseline, and renders
+text, JSON or SARIF.
 
-Exit codes: ``0`` clean, ``1`` unbaselined findings, ``2`` usage or
-parse failure.
+Extras beyond a plain run:
+
+* ``--graph`` dumps the cross-module call graph (text or ``--format
+  json``) for debugging the dataflow rules,
+* ``--changed [REF]`` lints only files changed vs a git ref (default
+  ``HEAD``) — the fast CI pre-gate; whole-program rules need the whole
+  tree and are skipped in this mode,
+* ``--sarif PATH`` writes a SARIF 2.1.0 report of the unbaselined
+  findings for GitHub code scanning,
+* ``--prune-baseline`` drops baseline entries whose fingerprint no
+  longer matches any finding; a full default run *fails* while stale
+  entries exist, so the committed baseline can't rot.
+
+Exit codes: ``0`` clean, ``1`` unbaselined findings or a stale
+baseline, ``2`` usage or parse failure.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .callgraph import Program
 from .context import ModuleContext
+from .dataflow import run_program_rules
 from .findings import FileStats, Finding, Severity
-from .reporters import render_json, render_text
-from .rules import all_rules, run_rules
+from .reporters import render_json, render_sarif, render_text
+from .rules import ProgramRule, all_rules, run_rules
 
 __all__ = ["main", "lint_tree", "default_root", "default_baseline_path"]
 
@@ -58,22 +76,25 @@ def _module_package(relpath: str) -> str:
     return ".".join(parts)
 
 
-def lint_tree(root: str, select: Optional[Set[str]] = None,
-              stats: Optional[FileStats] = None,
-              rel_prefix: Optional[str] = None
-              ) -> Tuple[List[Finding], FileStats]:
-    """Lint every python file under ``root``.
-
-    ``rel_prefix`` overrides how paths are reported/relativised: by
-    default paths are relative to ``root``'s parent, so linting
-    ``.../src/repro`` reports ``repro/sim/engine.py`` and the rules'
-    directory scoping works for scratch trees too.
-    """
-    stats = stats or FileStats()
-    base = rel_prefix if rel_prefix is not None else os.path.dirname(
+def _rel_base(root: str, rel_prefix: Optional[str]) -> str:
+    return rel_prefix if rel_prefix is not None else os.path.dirname(
         os.path.abspath(root))
-    findings: List[Finding] = []
-    for path in _iter_py_files(root):
+
+
+def load_contexts(root: str, stats: FileStats,
+                  rel_prefix: Optional[str] = None,
+                  files: Optional[Sequence[str]] = None
+                  ) -> Tuple[Dict[str, ModuleContext], List[Finding]]:
+    """Parse every file under ``root`` (or just ``files``).
+
+    Returns ``(contexts, parse_error_findings)``; paths in both are
+    relative to ``root``'s parent (``repro/sim/engine.py``-style), so
+    the rules' directory scoping works for scratch trees too.
+    """
+    base = _rel_base(root, rel_prefix)
+    contexts: Dict[str, ModuleContext] = {}
+    parse_errors: List[Finding] = []
+    for path in (files if files is not None else _iter_py_files(root)):
         rel = os.path.relpath(path, base).replace(os.sep, "/")
         try:
             with open(path, encoding="utf-8") as handle:
@@ -82,21 +103,103 @@ def lint_tree(root: str, select: Optional[Set[str]] = None,
             stats.files_skipped += 1
             continue
         try:
-            ctx = ModuleContext(rel, source,
-                                module_package=_module_package(rel))
+            contexts[rel] = ModuleContext(
+                rel, source, module_package=_module_package(rel))
         except SyntaxError as exc:
             stats.parse_errors += 1
-            findings.append(Finding(
+            parse_errors.append(Finding(
                 code="PARSE", severity=Severity.ERROR,
                 path=rel, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
                 message=f"syntax error: {exc.msg}"))
-            continue
+    return contexts, parse_errors
+
+
+def _program_codes() -> Set[str]:
+    return {rule.code for rule in all_rules()
+            if isinstance(rule, ProgramRule)}
+
+
+def lint_tree(root: str, select: Optional[Set[str]] = None,
+              stats: Optional[FileStats] = None,
+              rel_prefix: Optional[str] = None,
+              files: Optional[Sequence[str]] = None,
+              program: bool = True
+              ) -> Tuple[List[Finding], FileStats]:
+    """Lint a tree: per-module rules plus the whole-program analyses.
+
+    ``files`` restricts the scan to an explicit file list (the
+    ``--changed`` path); whole-program rules are skipped then — taint
+    chains need every module, not a diff. ``program=False`` also skips
+    them explicitly.
+    """
+    stats = stats or FileStats()
+    contexts, parse_errors = load_contexts(root, stats,
+                                           rel_prefix=rel_prefix,
+                                           files=files)
+    findings: List[Finding] = list(parse_errors)
+    for rel in sorted(contexts):
+        ctx = contexts[rel]
         stats.files_checked += 1
         if ctx.skip_file:
             stats.files_skipped += 1
             continue
         findings.extend(run_rules(ctx, select=select, stats=stats))
-    return findings, stats
+    run_program = (program and files is None
+                   and (select is None or bool(select & _program_codes())))
+    if run_program and not parse_errors:
+        findings.extend(run_program_rules(Program(contexts),
+                                          select=select, stats=stats))
+    return sorted(findings, key=Finding.sort_key), stats
+
+
+def changed_files(root: str, ref: str) -> Optional[List[str]]:
+    """Absolute paths of ``*.py`` files under ``root`` changed vs ``ref``.
+
+    Changed = ``git diff --name-only REF`` plus untracked files; returns
+    None when git fails (not a repository, unknown ref).
+    """
+    root_abs = os.path.abspath(root)
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+            cwd=root_abs).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True, text=True, check=True,
+            cwd=top).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True,
+            cwd=top).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    out: List[str] = []
+    for name in sorted(set(diff.splitlines()) | set(untracked.splitlines())):
+        if not name.endswith(".py"):
+            continue
+        path = os.path.join(top, name)
+        if not os.path.isfile(path):
+            continue  # deleted in the working tree
+        if os.path.commonpath([root_abs, os.path.abspath(path)]) == root_abs:
+            out.append(path)
+    return out
+
+
+def _sarif_uri_prefix(root: str) -> str:
+    """Map lint-relative paths back to repo paths for code scanning.
+
+    Linting ``src/repro`` from the repo root reports
+    ``repro/sim/engine.py``; the artifact URI must say
+    ``src/repro/sim/engine.py``.
+    """
+    base = os.path.dirname(os.path.abspath(root))
+    rel = os.path.relpath(base, os.getcwd())
+    if rel == ".":
+        return ""
+    if rel.startswith(".."):
+        return ""  # outside the working tree: keep lint-relative paths
+    return rel.replace(os.sep, "/") + "/"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,9 +222,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ignore the baseline; report everything")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from current findings "
+                             "(reasons of persisting entries survive) "
                              "and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="drop baseline entries that match no current "
+                             "finding and exit 0")
     parser.add_argument("--show-masked", action="store_true",
                         help="also print baseline-masked findings")
+    parser.add_argument("--changed", metavar="REF", nargs="?",
+                        const="HEAD", default=None,
+                        help="lint only files changed vs a git ref "
+                             "(default REF: HEAD); whole-program rules "
+                             "are skipped in this mode")
+    parser.add_argument("--graph", action="store_true",
+                        help="dump the cross-module call graph "
+                             "(honours --format) and exit")
+    parser.add_argument("--sarif", metavar="PATH", default=None,
+                        help="also write a SARIF 2.1.0 report of the "
+                             "unbaselined findings")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -137,6 +255,20 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _cmd_graph(root: str, fmt: str) -> int:
+    stats = FileStats()
+    contexts, parse_errors = load_contexts(root, stats)
+    if parse_errors:
+        for finding in parse_errors:
+            print(f"{finding.location()}: {finding.message}",
+                  file=sys.stderr)
+        return 2
+    program = Program(contexts)
+    print(program.render_json() if fmt == "json"
+          else program.render_text())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -147,6 +279,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not os.path.isdir(root):
         print(f"error: not a directory: {root}", file=sys.stderr)
         return 2
+    if args.graph:
+        return _cmd_graph(root, args.format)
     select: Optional[Set[str]] = None
     if args.select:
         select = {c.strip().upper() for c in args.select.split(",")
@@ -157,7 +291,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
-    findings, stats = lint_tree(root, select=select)
+    files: Optional[List[str]] = None
+    if args.changed is not None:
+        files = changed_files(root, args.changed)
+        if files is None:
+            print(f"error: git diff against {args.changed!r} failed "
+                  f"(not a repository, or unknown ref)", file=sys.stderr)
+            return 2
+        if not files:
+            print(f"repro-lint: no python files changed vs "
+                  f"{args.changed}")
+            return 0
+
+    findings, stats = lint_tree(root, select=select, files=files)
     if stats.parse_errors:
         for finding in findings:
             if finding.code == "PARSE":
@@ -167,9 +313,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     baseline_path = args.baseline or default_baseline_path()
     if args.update_baseline:
-        Baseline.from_findings(findings).save(baseline_path)
+        previous = Baseline.load(baseline_path)
+        updated = Baseline.from_findings(findings, previous=previous)
+        updated.save(baseline_path)
         print(f"baseline written: {baseline_path} "
               f"({len(findings)} findings masked)")
+        reasonless = updated.reasonless_fingerprints()
+        if reasonless:
+            print(f"warning: {len(reasonless)} baseline entr"
+                  f"{'y' if len(reasonless) == 1 else 'ies'} carry a "
+                  f"TODO reason — edit {baseline_path} and justify: "
+                  + ", ".join(reasonless), file=sys.stderr)
+        return 0
+    if args.prune_baseline:
+        baseline = Baseline.load(baseline_path)
+        dropped = baseline.prune(findings)
+        baseline.save(baseline_path)
+        print(f"baseline pruned: {baseline_path} "
+              f"({len(dropped)} stale entr"
+              f"{'y' if len(dropped) == 1 else 'ies'} dropped, "
+              f"{len(baseline)} kept)")
         return 0
 
     baseline = Baseline.empty() if args.no_baseline \
@@ -179,6 +342,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for finding in new:
         stats.count(finding)
 
+    # A full run sees every finding, so every unmatched baseline entry
+    # is genuinely stale; incremental/selective runs can't tell.
+    stale: List[str] = []
+    if not args.no_baseline and select is None and files is None:
+        stale = baseline.stale_fingerprints(findings)
+
+    if args.sarif:
+        with open(args.sarif, "w") as handle:
+            handle.write(render_sarif(new,
+                                      uri_prefix=_sarif_uri_prefix(root)))
+            handle.write("\n")
+
     reported = new + (masked if args.show_masked else [])
     if args.format == "json":
         print(render_json(reported, stats))
@@ -186,6 +361,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_text(reported, stats,
                           show_masked=len(masked) if args.show_masked
                           else 0))
+    if stale:
+        print(f"repro-lint: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (fingerprint matches "
+              f"no current finding) — run lint --prune-baseline: "
+              + ", ".join(stale), file=sys.stderr)
+        return 1
     return 1 if new else 0
 
 

@@ -69,6 +69,7 @@ class ModuleContext:
         self._collect_imports()
         self._collect_defs()
         self._collect_suppressions()
+        self._spread_suppressions()
 
     # ------------------------------------------------------------------
     # Imports / aliases
@@ -146,6 +147,68 @@ class ModuleContext:
                     self.suppressions[lineno] = parsed
                 else:
                     existing |= parsed
+
+    def _statement_spans(self) -> Iterator[Tuple[int, int]]:
+        """(first, last) line of every multi-line statement.
+
+        For simple statements the span is the full node extent — a
+        parenthesised call can put the suppression comment on any of
+        its lines. For compound statements (``if``/``for``/``def``/…)
+        only the *header* spans: decorators through the line before the
+        first body statement, so a comment inside the body never blankets
+        the whole block.
+        """
+        for node in ast.walk(self.tree):
+            lineno = getattr(node, "lineno", None)
+            end = getattr(node, "end_lineno", None)
+            if lineno is None or end is None:
+                continue
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and \
+                    hasattr(body[0], "lineno"):
+                first = lineno
+                decorators = getattr(node, "decorator_list", [])
+                if decorators:
+                    first = min(first, min(d.lineno for d in decorators))
+                end = body[0].lineno - 1
+                if end > first:
+                    yield first, end
+            elif end > lineno:
+                yield lineno, end
+
+    def _spread_suppressions(self) -> None:
+        """Apply each suppression comment to its whole statement span.
+
+        A directive on *any* line of a multi-line statement (the closing
+        paren of a wrapped expression, a decorator line, the middle of a
+        parenthesised condition) suppresses findings anchored on every
+        line of that statement.
+        """
+        if not self.suppressions:
+            return
+        for first, last in self._statement_spans():
+            hits = [self.suppressions[line]
+                    for line in range(first, last + 1)
+                    if line in self.suppressions]
+            if not hits:
+                continue
+            merged: Optional[Set[str]] = set()
+            for codes in hits:
+                if not codes:
+                    merged = set()  # bare ignore: all rules
+                    break
+                assert merged is not None
+                merged |= codes
+            for line in range(first, last + 1):
+                existing = self.suppressions.get(line)
+                if existing == set():
+                    continue  # bare ignore already dominates
+                if not merged:
+                    self.suppressions[line] = set()
+                elif existing is None:
+                    self.suppressions[line] = set(merged)
+                else:
+                    existing |= merged
 
     def is_suppressed(self, code: str, line: int) -> bool:
         codes = self.suppressions.get(line)

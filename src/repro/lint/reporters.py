@@ -1,13 +1,13 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from .findings import FileStats, Finding
+from .findings import FileStats, Finding, Severity
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(findings: List[Finding], stats: FileStats,
@@ -51,5 +51,83 @@ def render_json(findings: List[Finding], stats: FileStats) -> str:
             "suppressed": stats.suppressed,
             "baselined": stats.baselined,
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def render_sarif(findings: List[Finding],
+                 uri_prefix: str = "",
+                 rules: Optional[List] = None) -> str:
+    """SARIF 2.1.0 — the schema GitHub code scanning ingests.
+
+    ``uri_prefix`` maps lint-root-relative paths back to repository
+    paths (findings report ``repro/sim/engine.py``; the repo holds it
+    at ``src/repro/sim/engine.py``). ``rules`` is the rule catalogue to
+    embed as ``tool.driver.rules`` metadata (default: all registered).
+    """
+    if rules is None:
+        from .rules import all_rules
+        rules = all_rules()
+    rule_ids = sorted({r.code for r in rules})
+    rule_index = {code: i for i, code in enumerate(rule_ids)}
+    by_code = {r.code: r for r in rules}
+
+    def _uri(path: str) -> str:
+        return f"{uri_prefix}{path}" if uri_prefix else path
+
+    results = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        result: Dict[str, object] = {
+            "ruleId": finding.code,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _uri(finding.path),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        if finding.snippet:
+            region = result["locations"][0]["physicalLocation"]["region"]  # type: ignore[index]
+            region["snippet"] = {"text": finding.snippet}
+        results.append(result)
+
+    driver_rules = []
+    for code in rule_ids:
+        rule = by_code[code]
+        driver_rules.append({
+            "id": code,
+            "name": rule.name or code,
+            "shortDescription": {"text": rule.description or rule.name},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(rule.severity, "warning"),
+            },
+        })
+
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": driver_rules,
+                },
+            },
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -43,8 +43,8 @@ from typing import Dict, Iterator, List, Optional, Set
 from .context import ModuleContext, dotted_name
 from .findings import Finding, Severity
 
-__all__ = ["Rule", "RULES", "register", "all_rules", "get_rule",
-           "run_rules"]
+__all__ = ["Rule", "ProgramRule", "RULES", "register", "all_rules",
+           "get_rule", "run_rules", "in_det001_scope"]
 
 
 class Rule:
@@ -66,6 +66,22 @@ class Rule:
         return Finding(code=self.code, severity=self.severity,
                        path=ctx.path, line=line, col=col,
                        message=message, snippet=ctx.line_text(line))
+
+
+class ProgramRule(Rule):
+    """A whole-program rule: runs once over the cross-module call graph.
+
+    Program rules live in the same registry (same codes, baseline,
+    suppressions, ``--select``) but are skipped by the per-module
+    :func:`run_rules` pass; :func:`repro.lint.dataflow.run_program_rules`
+    drives them with a :class:`~repro.lint.callgraph.Program` instead.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(self, program) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 RULES: Dict[str, Rule] = {}
@@ -103,6 +119,8 @@ def run_rules(ctx: ModuleContext,
     for rule in all_rules():
         if select and rule.code not in select:
             continue
+        if isinstance(rule, ProgramRule):
+            continue  # driven by dataflow.run_program_rules instead
         for finding in rule.check(ctx):
             if ctx.is_suppressed(finding.code, finding.line):
                 if stats is not None:
@@ -140,6 +158,23 @@ _DET001_SCOPED_ALLOW = {
     "sim/engine.py": {"time.perf_counter_ns"},  # probe callback timing
 }
 
+#: Directories whose code runs (or feeds) the deterministic simulation.
+_DET_SCOPE_DIRS = ("sim", "switch", "rdma", "core", "faults", "dumper",
+                   "store", "coverage", "exec")
+#: Single files in scope that live outside those directories.
+_DET_SCOPE_FILES = ("api.py",)
+
+
+def in_det001_scope(path: str) -> bool:
+    """True if *path* is inside the determinism-checked part of the tree.
+
+    Shared by the per-module DET001/DET002 pass and the transitive
+    FLOW001 analysis so "simulation code" means the same thing in both.
+    """
+    if _in_dir(path, *_DET_SCOPE_DIRS):
+        return True
+    return any(_path_endswith(path, f) for f in _DET_SCOPE_FILES)
+
 
 @register
 class WallClockRule(Rule):
@@ -148,11 +183,10 @@ class WallClockRule(Rule):
     severity = Severity.ERROR
     description = ("wall-clock call inside simulation code "
                    "(sim/, switch/, rdma/, core/, faults/, dumper/, "
-                   "store/, coverage/)")
+                   "store/, coverage/, exec/, api.py)")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        if not _in_dir(ctx.path, "sim", "switch", "rdma", "core",
-                       "faults", "dumper", "store", "coverage"):
+        if not in_det001_scope(ctx.path):
             return
         allowed: Set[str] = set()
         for suffix, callees in _DET001_SCOPED_ALLOW.items():

@@ -116,14 +116,16 @@ def enable(out_dir: Optional[str] = None) -> TelemetrySession:
     """Activate a fresh telemetry session (replacing any existing one)."""
     global _current
     new_session = TelemetrySession(out_dir=out_dir)
-    _current = new_session
+    # repro-lint: ignore[RACE001] — session lifecycle singleton: workers
+    # enable/disable their own session and results travel via snapshots.
+    _current = new_session  # repro-lint: ignore[RACE001]
     return new_session
 
 
 def disable() -> None:
     """Deactivate telemetry; components fall back to no-op twins."""
     global _current
-    _current = NULL_SESSION
+    _current = NULL_SESSION  # repro-lint: ignore[RACE001] — lifecycle
 
 
 def current():

@@ -200,6 +200,200 @@ def test_committed_baseline_is_loadable_and_current():
 
 
 # ----------------------------------------------------------------------
+# Baseline hygiene: reasons and staleness
+# ----------------------------------------------------------------------
+def test_update_baseline_warns_on_todo_reasons(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {"sim/model.py": DET001_VIOLATION})
+    baseline = str(tmp_path / "baseline.json")
+    assert main([root, "--baseline", baseline, "--update-baseline"]) == 0
+    err = capsys.readouterr().err
+    assert "TODO reason" in err
+    (entry,) = json.loads(open(baseline).read())["findings"].values()
+    assert entry["reason"].startswith("TODO")
+
+
+def test_update_baseline_preserves_edited_reasons(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {"sim/model.py": DET001_VIOLATION})
+    baseline = str(tmp_path / "baseline.json")
+    main([root, "--baseline", baseline, "--update-baseline"])
+    doc = json.loads(open(baseline).read())
+    (fp,) = doc["findings"]
+    doc["findings"][fp]["reason"] = "scratch clock, asserted equal in CI"
+    with open(baseline, "w") as handle:
+        json.dump(doc, handle)
+    capsys.readouterr()
+    # Re-adopting the same findings keeps the hand-written reason and
+    # no longer warns.
+    assert main([root, "--baseline", baseline, "--update-baseline"]) == 0
+    assert "TODO reason" not in capsys.readouterr().err
+    entry = json.loads(open(baseline).read())["findings"][fp]
+    assert entry["reason"] == "scratch clock, asserted equal in CI"
+
+
+def test_stale_baseline_entry_fails_full_run(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {"sim/model.py": DET001_VIOLATION})
+    baseline = str(tmp_path / "baseline.json")
+    main([root, "--baseline", baseline, "--update-baseline"])
+    # Fix the violation: its baseline entry is now stale, and a full
+    # run must say so.
+    write_tree(tmp_path / "pkg", {"sim/model.py": CLEAN_MODULE})
+    capsys.readouterr()
+    assert main([root, "--baseline", baseline]) == 1
+    err = capsys.readouterr().err
+    assert "stale baseline" in err and "--prune-baseline" in err
+    # --select and --no-baseline runs can't judge staleness: no failure.
+    assert main([root, "--baseline", baseline, "--select", "DET002"]) == 0
+    assert main([root, "--no-baseline"]) == 0
+
+
+def test_prune_baseline_drops_stale_entries(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {"sim/model.py": DET001_VIOLATION})
+    baseline = str(tmp_path / "baseline.json")
+    main([root, "--baseline", baseline, "--update-baseline"])
+    write_tree(tmp_path / "pkg", {"sim/model.py": CLEAN_MODULE})
+    capsys.readouterr()
+    assert main([root, "--baseline", baseline, "--prune-baseline"]) == 0
+    assert "1 stale entry dropped" in capsys.readouterr().out
+    assert json.loads(open(baseline).read())["findings"] == {}
+    assert main([root, "--baseline", baseline]) == 0
+
+
+def test_committed_baseline_reasons_are_justified():
+    from repro.lint.cli import default_baseline_path
+
+    baseline = Baseline.load(default_baseline_path())
+    assert baseline.reasonless_fingerprints() == [], (
+        "baseline entries without a justification reason")
+
+
+# ----------------------------------------------------------------------
+# --changed: the fast CI pre-gate
+# ----------------------------------------------------------------------
+def git(cwd, *argv):
+    subprocess.run(
+        ["git", "-c", "user.name=t", "-c", "user.email=t@example.com",
+         *argv],
+        cwd=cwd, check=True, capture_output=True)
+
+
+def test_changed_lints_only_touched_files(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {
+        "sim/model.py": CLEAN_MODULE,
+        "rdma/old.py": DET001_VIOLATION,  # pre-existing, committed
+    })
+    git(tmp_path, "init", "-q")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "seed")
+    # Touch one file with a fresh violation; leave old.py alone.
+    write_tree(tmp_path / "pkg", {"sim/model.py": DET001_VIOLATION})
+    assert main([root, "--no-baseline", "--changed", "HEAD"]) == 1
+    out = capsys.readouterr().out
+    assert "pkg/sim/model.py" in out
+    assert "old.py" not in out
+
+
+def test_changed_includes_untracked_files(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {"sim/model.py": CLEAN_MODULE})
+    git(tmp_path, "init", "-q")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "seed")
+    write_tree(tmp_path / "pkg", {"sim/fresh.py": DET001_VIOLATION})
+    assert main([root, "--no-baseline", "--changed"]) == 1
+    assert "pkg/sim/fresh.py" in capsys.readouterr().out
+
+
+def test_changed_with_no_diff_exits_zero(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {"sim/model.py": CLEAN_MODULE})
+    git(tmp_path, "init", "-q")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "seed")
+    assert main([root, "--no-baseline", "--changed"]) == 0
+    assert "no python files changed" in capsys.readouterr().out
+
+
+def test_changed_outside_git_repo_exits_two(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {"sim/model.py": CLEAN_MODULE})
+    assert main([root, "--no-baseline", "--changed"]) == 2
+    assert "git diff" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --graph
+# ----------------------------------------------------------------------
+GRAPH_FILES = {
+    "pkg/sim/a.py": """
+        from ..util.b import helper
+
+        def entry():
+            return helper()
+    """,
+    "pkg/util/b.py": """
+        def helper():
+            return 1
+    """,
+}
+
+
+def test_graph_text_output(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {
+        rel[len("pkg/"):]: src for rel, src in GRAPH_FILES.items()})
+    assert main([root, "--graph"]) == 0
+    out = capsys.readouterr().out
+    assert "pkg.sim.a.entry" in out
+    assert "-> pkg.util.b.helper" in out
+    assert out.rstrip().splitlines()[-1].startswith("callgraph:")
+
+
+def test_graph_json_output(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {
+        rel[len("pkg/"):]: src for rel, src in GRAPH_FILES.items()})
+    assert main([root, "--graph", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["modules"] == 2
+    assert any(e["caller"] == "pkg.sim.a.entry"
+               and e["callee"] == "pkg.util.b.helper"
+               for e in doc["edges"])
+
+
+def test_graph_on_repo_tip_succeeds(capsys):
+    assert main(["--graph", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["functions"] > 500
+    assert doc["summary"]["edges"] > 1000
+
+
+# ----------------------------------------------------------------------
+# --sarif
+# ----------------------------------------------------------------------
+def test_sarif_report_written(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {"sim/model.py": DET001_VIOLATION})
+    sarif = tmp_path / "out.sarif"
+    assert main([root, "--no-baseline", "--sarif", str(sarif)]) == 1
+    doc = json.loads(sarif.read_text())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    (result,) = run["results"]
+    assert result["ruleId"] == "DET001"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "pkg/sim/model.py"
+    assert loc["region"]["startLine"] == 5
+    # Rule metadata is indexable for code scanning.
+    rules = run["tool"]["driver"]["rules"]
+    assert rules[result["ruleIndex"]]["id"] == "DET001"
+
+
+def test_sarif_masked_findings_excluded(tmp_path, capsys):
+    root = write_tree(tmp_path / "pkg", {"sim/model.py": DET001_VIOLATION})
+    baseline = str(tmp_path / "baseline.json")
+    main([root, "--baseline", baseline, "--update-baseline"])
+    sarif = tmp_path / "out.sarif"
+    capsys.readouterr()
+    assert main([root, "--baseline", baseline, "--sarif", str(sarif)]) == 0
+    assert json.loads(sarif.read_text())["runs"][0]["results"] == []
+
+
+# ----------------------------------------------------------------------
 # Misc front-end behaviour
 # ----------------------------------------------------------------------
 def test_list_rules(capsys):

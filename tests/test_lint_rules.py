@@ -30,7 +30,8 @@ def codes(findings):
 # ----------------------------------------------------------------------
 def test_registry_has_all_shipped_rules():
     assert set(RULES) == {"DET001", "DET002", "DET003", "DET004",
-                          "EXEC001", "TEL001", "API001", "PERF001"}
+                          "EXEC001", "TEL001", "API001", "PERF001",
+                          "FLOW001", "FLOW002", "RACE001", "UNIT001"}
 
 
 def test_findings_sorted_and_located():
@@ -65,13 +66,37 @@ def test_det001_positive_direct_and_aliased():
 
 
 def test_det001_negative_outside_scoped_dirs():
-    # telemetry/ and exec/ are allowed to read the wall clock.
+    # telemetry/ is the one layer allowed to read the wall clock.
     assert lint("""
         import time
 
         def f():
             return time.perf_counter_ns()
     """, path="repro/telemetry/thing.py") == []
+
+
+def test_det001_covers_exec_dir_and_api_module():
+    # Wall-clock reads in the pool plumbing or the facade would leak
+    # host time into scheduling decisions and cached results.
+    src = """
+        import time
+
+        def f():
+            return time.time()
+    """
+    assert codes(lint(src, path="repro/exec/runner.py")) == ["DET001"]
+    assert codes(lint(src, path="repro/api.py")) == ["DET001"]
+
+
+def test_det002_covers_exec_dir_and_api_module():
+    src = """
+        import random
+
+        def f():
+            return random.random()
+    """
+    assert codes(lint(src, path="repro/exec/worker.py")) == ["DET002"]
+    assert codes(lint(src, path="repro/api.py")) == ["DET002"]
 
 
 def test_det001_covers_faults_and_dumper_dirs():
@@ -596,6 +621,79 @@ def test_ignore_for_other_rule_does_not_mask():
             return time.time()  # repro-lint: ignore[DET002]
     """, path="repro/sim/model.py")
     assert codes(findings) == ["DET001"]
+
+
+def test_suppression_spans_parenthesized_expression():
+    # The directive sits on the closing-paren line; the finding anchors
+    # on the ``time.time()`` line two lines up. One statement, one span.
+    assert lint("""
+        import time
+
+        def f():
+            return (
+                time.time()
+            )  # repro-lint: ignore[DET001]
+    """, path="repro/sim/model.py") == []
+
+
+def test_suppression_spans_multiline_call_arguments():
+    assert lint("""
+        import time
+
+        def f(log):
+            log.emit(
+                "started",
+                at=time.time(),  # repro-lint: ignore[DET001]
+            )
+    """, path="repro/sim/model.py") == []
+
+
+def test_suppression_spans_decorated_def_header():
+    # A directive on the decorator line covers the whole def header,
+    # including a default argument on a later signature line.
+    assert lint("""
+        import time
+        import functools
+
+        @functools.lru_cache  # repro-lint: ignore[DET001]
+        def f(
+            a,
+            seed=time.time(),
+        ):
+            return a, seed
+    """, path="repro/sim/model.py") == []
+
+
+def test_header_suppression_does_not_leak_into_body():
+    # The def header span stops before the body: a violation inside the
+    # function is still reported.
+    findings = lint("""
+        import time
+        import functools
+
+        @functools.lru_cache  # repro-lint: ignore[DET001]
+        def f(
+            seed=time.time(),
+        ):
+            return time.time()
+    """, path="repro/sim/model.py")
+    assert [(f.code, "return" in (f.snippet or "")) for f in findings] == [
+        ("DET001", True)]
+
+
+def test_bare_ignore_dominates_within_span():
+    # A bare ``ignore`` anywhere in a statement span masks every rule
+    # on every line of that statement.
+    assert lint("""
+        import time
+        import random
+
+        def f():
+            return (
+                time.time(),  # repro-lint: ignore
+                random.random(),
+            )
+    """, path="repro/sim/model.py") == []
 
 
 def test_skip_file_directive():
