@@ -36,6 +36,11 @@ same thing, with the same defaults, everywhere they apply:
   the campaign exercised) into ``DIR/coverage.json``, plus a
   flight-recorder dump per failing/inconclusive/retried unit of work.
   The map is deterministic: byte-identical for any ``--workers`` value.
+  For ``fuzz`` a live coverage session also switches selection to
+  **coverage-guided fitness** (novelty bonus, first-hit admission,
+  corpus minimization, finding dedup); ``--no-coverage-fitness``
+  forces the blind GA, and ``--coverage-fitness`` without a coverage
+  directory runs guided with an in-memory session.
 * ``--measurement-faults SCENARIO`` stresses the measurement plane
   (mirror links, dumper rings) with a named deterministic fault
   scenario (see :mod:`repro.faults.scenarios`); the §3.5 integrity
@@ -200,7 +205,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     report = fuzzer.run(iterations=args.iterations,
                         stop_on_first=args.stop_on_first,
                         workers=args.workers, batch_size=args.batch,
-                        store=store, campaign_dir=args.campaign)
+                        store=store, campaign_dir=args.campaign,
+                        coverage_fitness=args.coverage_fitness)
     lines = [f"iterations: {report.iterations_run}  "
              f"findings: {len(report.findings)}  "
              f"invalid: {report.invalid_runs}"]
@@ -211,6 +217,17 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             f"  gen {row['generation']:>3d}: +{row['new-points']} point(s), "
             f"{row['total-points']} total"
             for row in report.coverage_growth)
+    if report.rediscoveries:
+        lines.append(f"dedup: {report.rediscoveries} anomalous re-run(s) "
+                     f"collapsed into {len(report.findings)} finding(s)")
+        lines.append(f"  {'iter':>4s} {'count':>5s} {'score':>7s}  anomaly")
+        lines.extend(
+            f"  {f.iteration:>4d} {f.count:>5d} {f.score.total:>7.1f}  "
+            + (f.score.anomalies[0] if f.score.anomalies else "-")
+            for f in report.findings)
+    if report.pool_evictions:
+        lines.append(f"corpus: {report.pool_evictions} dominated pool "
+                     "entries evicted")
     _emit_report("\n".join(lines) + "\n", args.output)
     if store is not None:
         print(store.stats())
@@ -524,6 +541,13 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--iterations", "-n", type=int, default=20)
     fuzz_p.add_argument("--threshold", type=float, default=3.0)
     fuzz_p.add_argument("--stop-on-first", action="store_true")
+    fuzz_p.add_argument("--coverage-fitness", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="coverage-guided selection: novelty bonus, "
+                             "first-hit admission, corpus minimization and "
+                             "finding dedup (default: on exactly when "
+                             "--coverage is set; --no-coverage-fitness "
+                             "forces the blind GA)")
     fuzz_p.add_argument("--batch", type=int, default=4,
                         help="candidates generated per pool snapshot; "
                              "fixes the schedule independently of "
@@ -619,19 +643,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     telemetry_dir = getattr(args, "telemetry", None)
     coverage_dir = getattr(args, "coverage", None)
-    if telemetry_dir is None and coverage_dir is None:
+    # `fuzz --coverage-fitness` without --coverage still needs a live
+    # session to collect the feedback — enable one in-memory (no
+    # coverage.json is exported without a directory to put it in).
+    wants_session = coverage_dir is not None or bool(
+        getattr(args, "coverage_fitness", False))
+    if telemetry_dir is None and not wants_session:
         return args.func(args)
     from .coverage import runtime as coverage
     from .telemetry import runtime as telemetry
 
     if telemetry_dir is not None:
         telemetry.enable(telemetry_dir)
-    if coverage_dir is not None:
+    if wants_session:
         coverage.enable(coverage_dir)
     try:
         status = args.func(args)
         cov = coverage.active()
-        if cov is not None:
+        if cov is not None and coverage_dir is not None:
             from .coverage.domains import known_point_count
             from .coverage.report import export_coverage
 
@@ -653,7 +682,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"telemetry written to {telemetry_dir} ({', '.join(names)})")
         return status
     finally:
-        if coverage_dir is not None:
+        if wants_session:
             coverage.disable()
         if telemetry_dir is not None:
             telemetry.disable()

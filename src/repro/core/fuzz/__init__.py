@@ -1,19 +1,21 @@
 """Genetic fuzzing module: automatic test-case generation (§4, Alg. 1)."""
 
-from .fuzzer import FuzzFinding, FuzzReport, LuminaFuzzer
+from .fuzzer import FuzzFinding, FuzzReport, LuminaFuzzer, PoolEntry
 from .mutate import MUTATORS, clamp_events, mutate
-from .score import Score, ScoreWeights, score_result
+from .score import Score, ScoreWeights, novelty_score, score_result
 from .targets import TARGETS, FuzzTarget, make_fuzzer
 
 __all__ = [
     "FuzzFinding",
     "FuzzReport",
     "LuminaFuzzer",
+    "PoolEntry",
     "MUTATORS",
     "clamp_events",
     "mutate",
     "Score",
     "ScoreWeights",
+    "novelty_score",
     "score_result",
     "TARGETS",
     "FuzzTarget",

@@ -22,11 +22,17 @@ _VERBS = ("write", "send", "read")
 
 
 def clamp_events(traffic: TrafficConfig) -> TrafficConfig:
-    """Drop events that no longer reference an existing packet/QP."""
+    """Drop events that no longer reference an existing packet/QP.
+
+    The packet stream is 1-indexed (``_spread_drops`` and ``_add_event``
+    draw from ``randint(1, …)``), so an event targeting psn 0 or qpn 0
+    references a packet that never exists and must be rejected too —
+    not only events past the upper bound.
+    """
     total = traffic.packets_per_connection
     kept = tuple(
         e for e in traffic.data_pkt_events
-        if e.psn <= total and e.qpn <= traffic.num_connections
+        if 1 <= e.psn <= total and 1 <= e.qpn <= traffic.num_connections
     )
     if len(kept) == len(traffic.data_pkt_events):
         return traffic
@@ -43,7 +49,8 @@ def _replace_geometry(t: TrafficConfig, **kwargs) -> TrafficConfig:
     changed = replace(t, data_pkt_events=(), **kwargs)
     total = changed.packets_per_connection
     kept = tuple(e for e in t.data_pkt_events
-                 if e.psn <= total and e.qpn <= changed.num_connections)
+                 if 1 <= e.psn <= total
+                 and 1 <= e.qpn <= changed.num_connections)
     return replace(changed, data_pkt_events=kept)
 
 

@@ -14,19 +14,29 @@ s(i) models one anomaly signal extracted from a finished test:
 Tests that fail the integrity check are invalid rather than anomalous —
 they are scored zero and flagged so the fuzzer does not chase dumping
 artefacts.
+
+Under coverage-guided fitness (FP4/P4Testgen-style structural
+feedback) the fuzzer adds a *novelty* term on top of the analyzer
+score: :func:`novelty_score` rewards a candidate for reaching coverage
+points the campaign has never seen and for re-reaching rare ones.
+Novelty is campaign state, not run state — it is computed by the
+fuzzer's sequential selection phase against the cumulative campaign
+map, never inside workers and never persisted into the store's
+per-candidate score entries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import log10
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ...coverage.map import CoverageMap
 from ..analyzers.base import AnalyzerContext
 from ..analyzers.registry import get_analyzer
 from ..results import TestResult
 
-__all__ = ["ScoreWeights", "Score", "score_result"]
+__all__ = ["ScoreWeights", "Score", "score_result", "novelty_score"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +59,15 @@ class Score:
     #: on the compact score across the process boundary so the fuzzer's
     #: cumulative map is worker-count independent. None when disabled.
     coverage: Optional[List[list]] = None
+    #: Coverage-novelty bonus assigned by the fuzzer's selection phase
+    #: (guided mode only). Campaign-relative, so store entries persist
+    #: it only on findings, never on cached candidate scores.
+    novelty: float = 0.0
+
+    @property
+    def fitness(self) -> float:
+        """Selection fitness: analyzer anomalies plus coverage novelty."""
+        return self.total + self.novelty
 
     def add(self, name: str, value: float, detail: str = "") -> None:
         if value <= 0:
@@ -57,6 +76,33 @@ class Score:
         self.total += value
         if detail:
             self.anomalies.append(detail)
+
+
+def novelty_score(rows: Optional[Iterable[Sequence]],
+                  cumulative: CoverageMap,
+                  first_hit_bonus: float = 2.0,
+                  rare_hit_bonus: float = 1.0) -> Tuple[float, int]:
+    """Novelty of one run's coverage snapshot against the campaign map.
+
+    Returns ``(novelty, first_hits)``: ``first_hits`` is the number of
+    ``(domain, point)`` keys the cumulative map has never seen (each
+    worth ``first_hit_bonus``), and every hit point additionally earns
+    a rarity share ``rare_hit_bonus / (1 + campaign hits so far)`` —
+    first hits count 1.0, saturated points decay toward 0.
+
+    Pure integer/float arithmetic over sorted snapshot rows: for a
+    fixed candidate order the value is byte-identical across worker
+    counts and crash-resume (the cumulative map round-trips through
+    the journal).
+    """
+    first_hits = 0
+    rarity = 0.0
+    for domain, point, _count, _first_ns in rows or ():
+        seen = cumulative.count(domain, point)
+        if seen == 0:
+            first_hits += 1
+        rarity += 1.0 / (1.0 + seen)
+    return first_hit_bonus * first_hits + rare_hit_bonus * rarity, first_hits
 
 
 def _ideal_mct_ns(result: TestResult) -> float:

@@ -34,6 +34,12 @@ class FuzzTarget:
     description: str
     weights: ScoreWeights
     anomaly_threshold: float
+    #: Coverage-guided fitness knobs (used only when a coverage session
+    #: is live): bonus per never-seen coverage point, bonus scale for
+    #: rare points, and the minimized-corpus bound.
+    novelty_first_bonus: float = 2.0
+    novelty_rare_bonus: float = 1.0
+    max_pool_size: int = 64
 
     def initial_pool(self) -> List[TrafficConfig]:
         raise NotImplementedError
@@ -135,5 +141,8 @@ def make_fuzzer(target_name: str, nic: str, seed: int = 1,
     )
     fuzzer = LuminaFuzzer(base, seed=seed, weights=target.weights,
                           anomaly_threshold=target.anomaly_threshold,
-                          initial_pool=pool)
+                          initial_pool=pool,
+                          max_pool_size=target.max_pool_size,
+                          novelty_first_bonus=target.novelty_first_bonus,
+                          novelty_rare_bonus=target.novelty_rare_bonus)
     return fuzzer, target

@@ -91,6 +91,15 @@ class CoverageMap:
         entry = self._points.get((domain, point))
         return entry[0] if entry is not None else 0
 
+    def point_keys(self) -> List[PointKey]:
+        """Sorted (domain, point) keys — the map's coverage signature.
+
+        Hit counts and timestamps are deliberately excluded: two runs
+        that reach the same points are coverage-equivalent for corpus
+        dominance and finding deduplication, however often they looped.
+        """
+        return sorted(self._points)
+
     def first_hit_ns(self, domain: str, point: str):
         """First-hit sim-time, or None if the point was never reached."""
         entry = self._points.get((domain, point))

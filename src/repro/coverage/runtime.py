@@ -120,6 +120,17 @@ class CoverageSession:
         self.live = self._stack[-1]
         return popped
 
+    def scope(self) -> "_CoverageScope":
+        """Context manager: isolate hits, then fold them into the parent.
+
+        ``with session.scope() as run_map:`` pushes a fresh scope, hands
+        it out so the caller can snapshot the isolated delta, and on
+        exit pops it and merges it into the enclosing scope — the
+        push/pop/fold discipline the fuzzer's in-process score path
+        needs, packaged so no exit path can leave the stack unbalanced.
+        """
+        return _CoverageScope(self)
+
     def merge_snapshot(self, snapshot) -> None:
         """Fold a result-carried snapshot into the innermost scope."""
         self.live.merge_snapshot(snapshot)
@@ -149,6 +160,40 @@ class CoverageSession:
         return [list(entry) for entry in entries]
 
 
+class _CoverageScope:
+    """``with session.scope()`` helper — see :meth:`CoverageSession.scope`."""
+
+    __slots__ = ("_session", "map")
+
+    def __init__(self, session_obj):
+        self._session = session_obj
+        self.map: Optional[CoverageMap] = None
+
+    def __enter__(self) -> CoverageMap:
+        self._session.push_scope()
+        self.map = self._session.live
+        return self.map
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        popped = self._session.pop_scope()
+        self._session.live.merge_map(popped)
+
+
+class _NullCoverageScope:
+    """Disabled-mode twin: hands out a throwaway map, folds nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> CoverageMap:
+        return CoverageMap()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SCOPE = _NullCoverageScope()
+
+
 class _NullCoverageSession:
     """Shared disabled-mode session; all factories return no-op twins."""
 
@@ -168,6 +213,9 @@ class _NullCoverageSession:
 
     def pop_scope(self) -> CoverageMap:
         return CoverageMap()
+
+    def scope(self) -> _NullCoverageScope:
+        return _NULL_SCOPE
 
     def merge_snapshot(self, snapshot) -> None:
         pass

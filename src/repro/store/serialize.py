@@ -281,6 +281,12 @@ def encode_score(score) -> Dict:
             "anomalies": list(score.anomalies)}
     if getattr(score, "coverage", None) is not None:
         data["coverage"] = score.coverage
+    # Campaign-relative novelty appears only when assigned (journaled
+    # finding scores, never store candidate entries — those are put
+    # before selection runs), so cached scores stay campaign-neutral
+    # and pre-novelty encodings are byte-unchanged.
+    if getattr(score, "novelty", 0.0):
+        data["novelty"] = score.novelty
     return data
 
 
@@ -290,7 +296,8 @@ def decode_score(data: Dict):
     return Score(total=data["total"], valid=data["valid"],
                  components=dict(data["components"]),
                  anomalies=list(data["anomalies"]),
-                 coverage=data.get("coverage"))
+                 coverage=data.get("coverage"),
+                 novelty=data.get("novelty", 0.0))
 
 
 def encode_fuzz_report(report) -> Dict:
@@ -298,16 +305,24 @@ def encode_fuzz_report(report) -> Dict:
         "iterations-run": report.iterations_run,
         "invalid-runs": report.invalid_runs,
         "pool-scores": list(report.pool_scores),
-        "findings": [
-            {"iteration": f.iteration, "config": f.config.to_dict(),
-             "score": encode_score(f.score)}
-            for f in report.findings
-        ],
+        "findings": [],
     }
+    for f in report.findings:
+        finding = {"iteration": f.iteration, "config": f.config.to_dict(),
+                   "score": encode_score(f.score)}
+        if getattr(f, "count", 1) != 1:
+            finding["count"] = f.count
+        data["findings"].append(finding)
     if getattr(report, "coverage_growth", None):
         data["coverage-growth"] = list(report.coverage_growth)
     if getattr(report, "coverage", None) is not None:
         data["coverage"] = report.coverage
+    # Guided-mode corpus accounting; omitted at zero so blind-GA
+    # reports keep their historical byte shape.
+    if getattr(report, "rediscoveries", 0):
+        data["rediscoveries"] = report.rediscoveries
+    if getattr(report, "pool_evictions", 0):
+        data["pool-evictions"] = report.pool_evictions
     return data
 
 
@@ -321,11 +336,14 @@ def decode_fuzz_report(data: Dict):
         findings=[
             FuzzFinding(iteration=f["iteration"],
                         config=TestConfig.from_dict(f["config"]),
-                        score=decode_score(f["score"]))
+                        score=decode_score(f["score"]),
+                        count=f.get("count", 1))
             for f in data["findings"]
         ],
         coverage_growth=list(data.get("coverage-growth", [])),
         coverage=data.get("coverage"),
+        rediscoveries=data.get("rediscoveries", 0),
+        pool_evictions=data.get("pool-evictions", 0),
     )
 
 
