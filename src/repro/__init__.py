@@ -53,8 +53,20 @@ __all__ = [
     "load_result",
     "TestResult",
     "quick_config",
+    "JobSpec",
+    "Client",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Campaign-service names resolve lazily: most importers (spawn
+    # workers, the CLI fast path) never touch the service layer.
+    if name in ("JobSpec", "Client"):
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def quick_config(nic: str = "cx5", verb: str = "write",

@@ -57,6 +57,15 @@ same thing, with the same defaults, everywhere they apply:
 replayed instead of re-simulated on a later invocation (``fuzz`` also
 journals per-generation state in ``DIR/journal.jsonl``, so a killed
 campaign resumes exactly where it stopped — see ``repro.store``).
+
+The campaign service (``repro.service``) adds a second execution mode:
+``serve`` starts a long-running daemon, and ``run``/``fuzz``/``suite``/
+``sweep`` accept ``--server URL`` to submit the same job to a daemon
+instead of executing locally. Both modes build the identical
+:class:`~repro.service.jobspec.JobSpec`, so local and remote execution
+share one fingerprint and produce byte-identical reports.
+``submit``/``status``/``results``/``cancel`` talk to a running daemon
+directly.
 """
 
 from __future__ import annotations
@@ -68,9 +77,6 @@ import sys
 from typing import List, Optional, Tuple
 
 from .core.config import TestConfig
-from .core.fuzz import LuminaFuzzer
-from .core.orchestrator import run_test
-from .core.report import render_report
 from .rdma.profiles import PROFILES
 
 #: Historical per-command seed defaults, applied when --seed is omitted.
@@ -157,221 +163,149 @@ def _write_flight_dumps(args: argparse.Namespace,
         print(f"flight record written to {path}")
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    config = _load_config(args.config, args.seed)
-    if args.measurement_faults:
-        from .faults import get_scenario
+def _session_flags(args: argparse.Namespace) -> dict:
+    """JobSpec session kwargs for a --server submission.
 
-        config = get_scenario(args.measurement_faults).apply(config)
+    Local invocations leave these off — ``main()`` drives the sessions
+    in-process exactly as it always has — so a plain local command and
+    a plain remote one build the identical, fingerprint-equal spec.
+    Remote jobs instead carry the request in the payload and the job
+    process exports into its job directory on the daemon side.
+    """
+    if not getattr(args, "server", None):
+        return {}
+    return {"coverage": bool(getattr(args, "coverage", None)),
+            "telemetry": bool(getattr(args, "telemetry", None))}
+
+
+def _run_remote(args: argparse.Namespace, spec) -> int:
+    """Submit a spec to ``--server``, wait, and emit the fetched report."""
+    if getattr(args, "campaign", None):
+        print("error: --campaign is local-only; the service keeps its "
+              "own store (see `repro serve`)", file=sys.stderr)
+        return 2
+    from .service import Client, ServiceError
+
+    client = Client(args.server)
+    try:
+        job = client.submit(spec)
+        print(f"submitted {job['id']} "
+              f"(fingerprint {job['fingerprint'][:12]}) to {args.server}")
+        final = client.wait(job["id"])
+        if final["state"] != "done":
+            print(f"error: job {job['id']} {final['state']}: "
+                  f"{final.get('error')}", file=sys.stderr)
+            return 1
+        if final.get("replayed"):
+            print("result replayed from service store")
+        body = client.results(job["id"])
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_report(body["report"], args.output)
+    return int(body["exit-code"])
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .service import JobSpec, execute_jobspec
+
+    config = _load_config(args.config, args.seed)
+    spec = JobSpec.for_run(config, faults=args.measurement_faults,
+                           workers=args.workers, priority=args.priority,
+                           **_session_flags(args))
+    if args.server:
+        return _run_remote(args, spec)
     store = _campaign_store(args)
-    result = run_test(config, store=store)
-    _emit_report(render_report(result), args.output)
-    if result.flight_record:
-        trigger = ("integrity-retry" if result.integrity.ok
-                   else "integrity-fail")
-        _write_flight_dumps(args, [(f"run-seed{config.seed}", trigger,
-                                    result.flight_record)])
+    outcome = execute_jobspec(spec, store=store)
+    _emit_report(outcome.report, args.output)
+    _write_flight_dumps(args, outcome.flight_records)
     if store is not None:
         print(store.stats())
-    return 0 if result.ok else 1
+    return outcome.exit_code
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    scenario = None
-    if args.measurement_faults:
-        from .faults import get_scenario
+    from .service import JobSpec, execute_jobspec
 
-        scenario = get_scenario(args.measurement_faults)
-    if args.target:
-        from .core.fuzz import make_fuzzer
-
-        fuzzer, target = make_fuzzer(args.target, args.nic,
-                                     seed=args.seed or 1)
-        if scenario is not None:
-            # Fault scenarios touch only the measurement-plane fields,
-            # never the traffic shape the preset pool was seeded from.
-            fuzzer.base_config = scenario.apply(fuzzer.base_config)
-        print(f"target: {target.name} — {target.description} (nic={args.nic})")
-    else:
-        if not args.config:
-            print("error: provide a config file or --target", file=sys.stderr)
-            return 2
+    if not args.target and not args.config:
+        print("error: provide a config file or --target", file=sys.stderr)
+        return 2
+    config = None
+    if not args.target:
         config = _load_config(args.config, args.seed)
-        if scenario is not None:
-            config = scenario.apply(config)
-        fuzzer = LuminaFuzzer(config, seed=args.seed or config.seed,
-                              anomaly_threshold=args.threshold)
+    spec = JobSpec.for_fuzz(config=config, target=args.target,
+                            nic=args.nic, seed=args.seed,
+                            iterations=args.iterations, batch=args.batch,
+                            threshold=args.threshold,
+                            stop_on_first=args.stop_on_first,
+                            coverage_fitness=args.coverage_fitness,
+                            faults=args.measurement_faults,
+                            workers=args.workers, priority=args.priority,
+                            **_session_flags(args))
+    if args.server:
+        return _run_remote(args, spec)
     store = _campaign_store(args)
-    report = fuzzer.run(iterations=args.iterations,
-                        stop_on_first=args.stop_on_first,
-                        workers=args.workers, batch_size=args.batch,
-                        store=store, campaign_dir=args.campaign,
-                        coverage_fitness=args.coverage_fitness)
-    lines = [f"iterations: {report.iterations_run}  "
-             f"findings: {len(report.findings)}  "
-             f"invalid: {report.invalid_runs}"]
-    lines.extend("  " + finding.summary() for finding in report.findings)
-    if report.coverage_growth:
-        lines.append("coverage growth:")
-        lines.extend(
-            f"  gen {row['generation']:>3d}: +{row['new-points']} point(s), "
-            f"{row['total-points']} total"
-            for row in report.coverage_growth)
-    if report.rediscoveries:
-        lines.append(f"dedup: {report.rediscoveries} anomalous re-run(s) "
-                     f"collapsed into {len(report.findings)} finding(s)")
-        lines.append(f"  {'iter':>4s} {'count':>5s} {'score':>7s}  anomaly")
-        lines.extend(
-            f"  {f.iteration:>4d} {f.count:>5d} {f.score.total:>7.1f}  "
-            + (f.score.anomalies[0] if f.score.anomalies else "-")
-            for f in report.findings)
-    if report.pool_evictions:
-        lines.append(f"corpus: {report.pool_evictions} dominated pool "
-                     "entries evicted")
-    _emit_report("\n".join(lines) + "\n", args.output)
+    outcome = execute_jobspec(spec, store=store,
+                              campaign_dir=args.campaign)
+    for note in outcome.notes:
+        print(note)
+    _emit_report(outcome.report, args.output)
     if store is not None:
         print(store.stats())
-    return 0 if report.found_anomaly else 2
+    return outcome.exit_code
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
-    from .core.suite import run_conformance_suite
+    from .service import JobSpec, execute_jobspec
 
+    spec = JobSpec.for_suite(args.nic, seed=args.seed,
+                             checks=args.checks or None,
+                             faults=args.measurement_faults,
+                             workers=args.workers, priority=args.priority,
+                             **_session_flags(args))
+    if args.server:
+        return _run_remote(args, spec)
     store = _campaign_store(args)
-    card = run_conformance_suite(args.nic, seed=args.seed,
-                                 checks=args.checks or None,
-                                 workers=args.workers,
-                                 faults=args.measurement_faults or None,
-                                 store=store)
-    _emit_report(card.render(), args.output)
-    _write_flight_dumps(args, [
-        (check.name, check.outcome.value if check.outcome else "FAIL",
-         check.flight_record)
-        for check in card.results if check.flight_record
-    ])
+    outcome = execute_jobspec(spec, store=store)
+    _emit_report(outcome.report, args.output)
+    _write_flight_dumps(args, outcome.flight_records)
     if store is not None:
         print(store.stats())
-    return 0 if card.all_passed else 1
-
-
-def _sweep_report(cells: List[Tuple[str, int]],
-                  outcomes: List) -> Tuple[str, int]:
-    """(deterministic report text, failure count) for a finished grid."""
-    lines = [f"{'nic':<6s}{'seed':>6s}{'ok':>5s}{'mct_us':>10s}"
-             f"{'retrans':>9s}{'timeouts':>10s}{'sim_ms':>9s}",
-             "-" * 55]
-    failures = 0
-    for (nic, seed), outcome in zip(cells, outcomes):
-        if not outcome.ok:
-            failures += 1
-            lines.append(f"{nic:<6s}{seed:>6d}  ERR  {outcome.error}")
-            continue
-        s = outcome.value
-        if not s["ok"]:
-            failures += 1
-        lines.append(f"{nic:<6s}{seed:>6d}{'yes' if s['ok'] else 'NO':>5s}"
-                     f"{s['avg_mct_us']:>10.1f}{s['retransmitted']:>9d}"
-                     f"{s['timeouts']:>10d}{s['duration_ns'] / 1e6:>9.2f}")
-    lines.append("-" * 55)
-    lines.append(f"{len(cells)} runs, {failures} failure(s)")
-    return "\n".join(lines) + "\n", failures
+    return outcome.exit_code
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     import time
-    from dataclasses import replace
 
-    scenario = None
-    if args.measurement_faults:
-        from .faults import get_scenario
+    from .service import JobSpec, execute_jobspec
 
-        scenario = get_scenario(args.measurement_faults)
     base_seed = args.seed if args.seed is not None else args.base_seed
     nics = [n.strip() for n in args.nics.split(",") if n.strip()]
-    configs = []
-    cells = []
-    for nic in nics:
-        for offset in range(args.seeds):
-            seed = base_seed + offset
-            if args.config:
-                base = _load_config(args.config, seed)
-                config = replace(
-                    base,
-                    requester=replace(base.requester, nic_type=nic),
-                    responder=replace(base.responder, nic_type=nic),
-                )
-            else:
-                from . import quick_config
-
-                config = quick_config(nic=nic, verb=args.verb,
-                                      num_connections=args.connections,
-                                      num_msgs=args.messages,
-                                      message_size=args.size, seed=seed)
-            if scenario is not None:
-                config = scenario.apply(config)
-            configs.append(config)
-            cells.append((nic, seed))
-
-    from .exec import ParallelRunner, TaskOutcome
-    from .exec.tasks import run_summary_task
-
-    from .coverage import runtime as coverage_runtime
-
-    cov = coverage_runtime.active()
+    config = _load_config(args.config) if args.config else None
+    spec = JobSpec.for_sweep(nics=nics, seeds=args.seeds,
+                             base_seed=base_seed, config=config,
+                             verb=args.verb,
+                             connections=args.connections,
+                             messages=args.messages, size=args.size,
+                             faults=args.measurement_faults,
+                             timeout=args.timeout, workers=args.workers,
+                             priority=args.priority,
+                             **_session_flags(args))
+    if args.server:
+        return _run_remote(args, spec)
     store = _campaign_store(args)
-    outcomes: List[Optional[TaskOutcome]] = [None] * len(configs)
-    fps: List[Optional[str]] = [None] * len(configs)
-    pending = list(range(len(configs)))
-    if store is not None:
-        from .store.fingerprint import config_fingerprint
-
-        extra = {"coverage": True} if cov is not None else None
-        pending = []
-        for i, config in enumerate(configs):
-            fps[i] = config_fingerprint(config, kind="summary", extra=extra)
-            cached = store.get(fps[i])
-            if cached is not None:
-                outcomes[i] = TaskOutcome(index=i, ok=True, value=cached,
-                                          cached=True)
-            else:
-                pending.append(i)
-
     started = time.perf_counter()
-    crashes = 0
-    if pending:
-        with ParallelRunner(run_summary_task, workers=args.workers,
-                            task_timeout_s=args.timeout) as runner:
-            fresh = runner.map([{"config": configs[i]} for i in pending])
-        crashes = runner.stats.worker_crashes
-        for i, outcome in zip(pending, fresh):
-            outcomes[i] = TaskOutcome(index=i, ok=outcome.ok,
-                                      value=outcome.value,
-                                      error=outcome.error,
-                                      attempts=outcome.attempts,
-                                      ran_in_process=outcome.ran_in_process)
-            if store is not None and outcome.ok:
-                store.put(fps[i], "summary", outcome.value)
+    outcome = execute_jobspec(spec, store=store)
     elapsed = time.perf_counter() - started
-
-    if cov is not None:
-        # Summaries carry each run's coverage; fold in cell order. An
-        # in-process (fallback or workers=1) run already merged via
-        # run_test, so only pool-executed and cached cells fold here.
-        for outcome in outcomes:
-            if (outcome is not None and outcome.ok
-                    and not outcome.ran_in_process
-                    and isinstance(outcome.value, dict)
-                    and outcome.value.get("coverage")):
-                cov.merge_snapshot(outcome.value["coverage"])
-
-    report, failures = _sweep_report(cells, outcomes)
-    _emit_report(report, args.output)
-    rate = len(pending) / elapsed if elapsed > 0 else 0.0
-    print(f"{len(pending)} of {len(configs)} runs executed in {elapsed:.2f}s "
-          f"({rate:.2f} runs/s, workers={args.workers}, crashes={crashes})")
+    _emit_report(outcome.report, args.output)
+    stats = outcome.stats
+    rate = stats["executed"] / elapsed if elapsed > 0 else 0.0
+    print(f"{stats['executed']} of {stats['total']} runs executed in "
+          f"{elapsed:.2f}s ({rate:.2f} runs/s, workers={args.workers}, "
+          f"crashes={stats['crashes']})")
     if store is not None:
         print(store.stats())
-    return 1 if failures else 0
+    return outcome.exit_code
 
 
 def cmd_incast(args: argparse.Namespace) -> int:
@@ -380,6 +314,10 @@ def cmd_incast(args: argparse.Namespace) -> int:
     if args.measurement_faults:
         print("error: incast builds its own fan-in testbed and does not "
               "support --measurement-faults", file=sys.stderr)
+        return 2
+    if args.server:
+        print("error: incast is a local diagnostic and does not support "
+              "--server", file=sys.stderr)
         return 2
     seed = args.seed if args.seed is not None else _INCAST_DEFAULT_SEED
     result = run_incast(IncastConfig(
@@ -401,6 +339,135 @@ def cmd_incast(args: argparse.Namespace) -> int:
     ]
     _emit_report("\n".join(lines) + "\n", args.output)
     return 0
+
+
+def _client_or_error(args: argparse.Namespace):
+    if not getattr(args, "server", None):
+        print("error: this command needs --server URL", file=sys.stderr)
+        return None
+    from .service import Client
+
+    return Client(args.server)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CampaignDaemon
+
+    daemon = CampaignDaemon(
+        args.state_dir, host=args.host, port=args.port,
+        retention_interval_s=args.retention_interval,
+        retain_entries=args.retain_entries)
+    daemon.start()
+    print(f"campaign service listening on {daemon.url} "
+          f"(state: {args.state_dir})", flush=True)
+    daemon.run_forever()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceError, decode_jobspec
+
+    client = _client_or_error(args)
+    if client is None:
+        return 2
+    with open(args.spec) as handle:
+        doc = json.load(handle)
+    try:
+        spec = decode_jobspec(doc)
+    except ValueError as exc:
+        print(f"error: {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    if args.priority:
+        from dataclasses import replace
+
+        spec = replace(spec, priority=args.priority)
+    try:
+        job = client.submit(spec)
+        print(f"{job['id']} {job['state']} "
+              f"(fingerprint {job['fingerprint'][:12]})")
+        if not args.wait:
+            return 0
+        final = client.wait(job["id"])
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{final['id']} {final['state']}"
+          + (f": {final['error']}" if final.get("error") else ""))
+    return (int(final["exit-code"]) if final["state"] == "done" else 1)
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    client = _client_or_error(args)
+    if client is None:
+        return 2
+    try:
+        if args.job:
+            rows = [client.status(args.job)]
+            if args.progress:
+                progress = client.progress(args.job)
+                extras = {k: v for k, v in sorted(progress.items())
+                          if k not in ("id", "state", "job-kind")}
+        else:
+            rows = client.jobs()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{'id':<12s}{'kind':<7s}{'state':<11s}{'exit':>5s}  notes")
+    for row in rows:
+        exit_code = row.get("exit-code")
+        notes = []
+        if row.get("replayed"):
+            notes.append("replayed")
+        if row.get("error"):
+            notes.append(row["error"])
+        print(f"{row['id']:<12s}{row['job-kind']:<7s}{row['state']:<11s}"
+              f"{'-' if exit_code is None else exit_code:>5}  "
+              + "; ".join(notes))
+    if args.job and args.progress:
+        for key, value in extras.items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    client = _client_or_error(args)
+    if client is None:
+        return 2
+    try:
+        if args.json:
+            raw = client.results_bytes(args.job)
+            if args.output:
+                with open(args.output, "wb") as handle:
+                    handle.write(raw)
+                print(f"result document written to {args.output}")
+            else:
+                sys.stdout.write(raw.decode("utf-8") + "\n")
+            return 0
+        body = client.results(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_report(body["report"], args.output)
+    return int(body["exit-code"])
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    client = _client_or_error(args)
+    if client is None:
+        return 2
+    try:
+        outcome = client.cancel(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.job}: {outcome}")
+    return 0 if outcome in ("cancelled", "cancelling") else 1
 
 
 def cmd_nics(_args: argparse.Namespace) -> int:
@@ -504,6 +571,16 @@ def _common_parser() -> argparse.ArgumentParser:
     group.add_argument("--output", "-o", metavar="FILE", default=None,
                        help="write the command's report to FILE "
                             "(deterministic: no wall-clock content)")
+    group.add_argument("--server", metavar="URL", default=None,
+                       help="submit to a campaign service (see `repro "
+                            "serve`) instead of executing locally; the "
+                            "job builds the same JobSpec either way, so "
+                            "local and remote results are fingerprint-"
+                            "identical")
+    group.add_argument("--priority", type=int, default=0,
+                       help="queue priority for --server submissions "
+                            "(higher dispatches first, FIFO within a "
+                            "priority; local execution ignores it)")
     return common
 
 
@@ -596,6 +673,59 @@ def build_parser() -> argparse.ArgumentParser:
                           help="bottleneck buffer (default: deep)")
     incast_p.set_defaults(func=cmd_incast)
 
+    serve_p = sub.add_parser(
+        "serve", parents=[common],
+        help="start the long-running campaign service daemon")
+    serve_p.add_argument("state_dir",
+                         help="daemon state directory (queue journal, "
+                              "store, per-job directories)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="TCP port (default: 0, ephemeral; the "
+                              "bound URL is printed on startup)")
+    serve_p.add_argument("--retention-interval", type=float, default=60.0,
+                         help="seconds between background store gc/prune "
+                              "passes (default: 60)")
+    serve_p.add_argument("--retain-entries", type=int, default=None,
+                         help="prune the service store down to this many "
+                              "entries each retention pass (default: "
+                              "no pruning, gc only)")
+    serve_p.set_defaults(func=cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", parents=[common],
+        help="submit a job-spec JSON document to a campaign service")
+    submit_p.add_argument("spec", help="job-spec JSON file (see DESIGN.md)")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="block until the job finishes and exit "
+                               "with its exit code")
+    submit_p.set_defaults(func=cmd_submit)
+
+    status_p = sub.add_parser(
+        "status", parents=[common],
+        help="show one job (or the whole queue) of a campaign service")
+    status_p.add_argument("job", nargs="?", default=None,
+                          help="job id (default: list every job)")
+    status_p.add_argument("--progress", action="store_true",
+                          help="also show incremental progress (fuzz "
+                               "generations, coverage points)")
+    status_p.set_defaults(func=cmd_status)
+
+    results_p = sub.add_parser(
+        "results", parents=[common],
+        help="fetch a finished job's report from a campaign service")
+    results_p.add_argument("job", help="job id")
+    results_p.add_argument("--json", action="store_true",
+                           help="emit the raw versioned result document "
+                                "instead of the report text")
+    results_p.set_defaults(func=cmd_results)
+
+    cancel_p = sub.add_parser(
+        "cancel", parents=[common],
+        help="cancel a queued or running job on a campaign service")
+    cancel_p.add_argument("job", help="job id")
+    cancel_p.set_defaults(func=cmd_cancel)
+
     nics_p = sub.add_parser("nics", help="list NIC behaviour profiles")
     nics_p.set_defaults(func=cmd_nics)
 
@@ -641,6 +771,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if getattr(args, "server", None):
+        # Remote execution: sessions (and their exports) live in the
+        # daemon's job directory, not in this process.
+        return args.func(args)
     telemetry_dir = getattr(args, "telemetry", None)
     coverage_dir = getattr(args, "coverage", None)
     # `fuzz --coverage-fitness` without --coverage still needs a live

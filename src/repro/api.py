@@ -6,18 +6,25 @@ The internal layout (``core.orchestrator``, ``core.suite``,
 handful of names here does not. Everything a script, notebook or
 downstream harness needs:
 
-* :func:`run_test` — one deterministic end-to-end test run, optionally
-  replayed from a campaign store;
-* :func:`run_suite` — the conformance battery for one NIC model;
-* :func:`run_fuzz_campaign` — Algorithm-1 fuzzing around a base
-  config, resumable via ``campaign_dir``;
+* :class:`JobSpec` — one versioned, fingerprinted unit of campaign
+  work, shared verbatim by the CLI, this facade and the campaign
+  daemon;
+* :func:`execute_jobspec` — run a spec locally and get its full
+  outcome (report text, exit code, rich result object);
+* :class:`Client` — submit/status/results/cancel (plus a blocking
+  ``wait()``) against a running ``repro serve`` daemon;
+* :func:`run_test` / :func:`run_suite` / :func:`run_fuzz_campaign` —
+  the historical one-call helpers, now thin wrappers that build the
+  same ``JobSpec`` the CLI builds and execute it locally (signatures
+  unchanged);
 * :func:`save_result` / :func:`load_result` — lossless TestResult
-  round-trip as standalone JSON;
+  round-trip as standalone versioned JSON;
 * :func:`iter_analyzers` / :func:`get_analyzer` — the registered trace
   analyzers behind the uniform Analyzer protocol.
 
-Heavy subsystems import lazily inside each function, so ``import
-repro.api`` stays cheap (CLI startup, spawn workers).
+Heavy subsystems import lazily inside each function (service names via
+module ``__getattr__``), so ``import repro.api`` stays cheap (CLI
+startup, spawn workers).
 """
 
 from __future__ import annotations
@@ -34,7 +41,21 @@ if TYPE_CHECKING:
 
 __all__ = ["run_test", "run_suite", "run_fuzz_campaign",
            "save_result", "load_result",
-           "get_analyzer", "iter_analyzers", "quick_config"]
+           "get_analyzer", "iter_analyzers", "quick_config",
+           "JobSpec", "JobOutcome", "execute_jobspec",
+           "Client", "ServiceError", "CampaignDaemon"]
+
+#: Facade names that resolve to :mod:`repro.service` on first access.
+_SERVICE_NAMES = frozenset({"JobSpec", "JobOutcome", "execute_jobspec",
+                            "Client", "ServiceError", "CampaignDaemon"})
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_NAMES:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_test(config: "TestConfig",
@@ -43,25 +64,37 @@ def run_test(config: "TestConfig",
 
     With a ``store``, a previously-run identical config is replayed
     from disk — full trace included — instead of simulated again.
+    Equivalent to executing ``JobSpec.for_run(config)``.
     """
-    from .core.orchestrator import run_test as _run_test
+    from .service import JobSpec, execute_jobspec
 
-    return _run_test(config, store=store)
+    spec = JobSpec.for_run(config)
+    return execute_jobspec(spec, store=store).value
 
 
 def run_suite(nic: str, seed: Optional[int] = None,
               checks: Optional[List[str]] = None, workers: int = 1,
-              faults: Optional[str] = None,
+              faults=None,
               store: Optional["CampaignStore"] = None) -> "Scorecard":
     """Run the conformance battery (or a subset) against one NIC model.
 
     ``seed=None`` means the battery's canonical seed
-    (:data:`repro.core.suite.DEFAULT_SUITE_SEED`).
+    (:data:`repro.core.suite.DEFAULT_SUITE_SEED`). ``faults`` is a
+    scenario name (JobSpec path) or, for ad-hoc experiments, a
+    :class:`~repro.faults.FaultScenario` instance — instances are not
+    JSON, so they bypass the spec and call the suite directly.
     """
-    from .core.suite import run_conformance_suite
+    if faults is not None and not isinstance(faults, str):
+        from .core.suite import run_conformance_suite
 
-    return run_conformance_suite(nic, seed=seed, checks=checks,
-                                 workers=workers, faults=faults, store=store)
+        return run_conformance_suite(nic, seed=seed, checks=checks,
+                                     workers=workers, faults=faults,
+                                     store=store)
+    from .service import JobSpec, execute_jobspec
+
+    spec = JobSpec.for_suite(nic, seed=seed, checks=checks, faults=faults,
+                             workers=workers)
+    return execute_jobspec(spec, store=store).value
 
 
 def run_fuzz_campaign(base_config: "TestConfig", iterations: int = 20,
@@ -77,15 +110,16 @@ def run_fuzz_campaign(base_config: "TestConfig", iterations: int = 20,
     are cached in ``<dir>/store`` and per-generation state journaled in
     ``<dir>/journal.jsonl``, so re-invoking after an interruption
     continues exactly where it stopped and yields a byte-identical
-    final report.
+    final report. Equivalent to executing ``JobSpec.for_fuzz(...)``.
     """
-    from .core.fuzz import LuminaFuzzer
+    from .service import JobSpec, execute_jobspec
 
-    fuzzer = LuminaFuzzer(base_config, seed=seed,
-                          anomaly_threshold=anomaly_threshold)
-    return fuzzer.run(iterations=iterations, stop_on_first=stop_on_first,
-                      workers=workers, batch_size=batch_size,
-                      store=store, campaign_dir=campaign_dir)
+    spec = JobSpec.for_fuzz(config=base_config, iterations=iterations,
+                            seed=seed, batch=batch_size,
+                            threshold=anomaly_threshold,
+                            stop_on_first=stop_on_first, workers=workers)
+    return execute_jobspec(spec, store=store,
+                           campaign_dir=campaign_dir).value
 
 
 def save_result(result: "TestResult", path: str) -> str:

@@ -16,7 +16,7 @@ from .analyzers.goodput import mct_stats
 from .analyzers.registry import get_analyzer
 from .results import TestResult
 
-__all__ = ["render_report"]
+__all__ = ["render_report", "render_fuzz_summary"]
 
 _INTERESTING_COUNTERS = (
     "packet_seq_err", "out_of_sequence", "implied_nak_seq_err",
@@ -168,4 +168,35 @@ def render_report(result: TestResult) -> str:
             lines.append(f"flight record: {len(result.flight_record)} "
                          f"event(s) captured (see --coverage dump)")
 
+    return "\n".join(lines) + "\n"
+
+
+def render_fuzz_summary(report) -> str:
+    """The fuzz command's deterministic summary of one FuzzReport.
+
+    The single rendering path for ``python -m repro fuzz``, the campaign
+    service and the api facade — a campaign executed through any of them
+    yields a byte-identical summary document.
+    """
+    lines = [f"iterations: {report.iterations_run}  "
+             f"findings: {len(report.findings)}  "
+             f"invalid: {report.invalid_runs}"]
+    lines.extend("  " + finding.summary() for finding in report.findings)
+    if report.coverage_growth:
+        lines.append("coverage growth:")
+        lines.extend(
+            f"  gen {row['generation']:>3d}: +{row['new-points']} point(s), "
+            f"{row['total-points']} total"
+            for row in report.coverage_growth)
+    if report.rediscoveries:
+        lines.append(f"dedup: {report.rediscoveries} anomalous re-run(s) "
+                     f"collapsed into {len(report.findings)} finding(s)")
+        lines.append(f"  {'iter':>4s} {'count':>5s} {'score':>7s}  anomaly")
+        lines.extend(
+            f"  {f.iteration:>4d} {f.count:>5d} {f.score.total:>7.1f}  "
+            + (f.score.anomalies[0] if f.score.anomalies else "-")
+            for f in report.findings)
+    if report.pool_evictions:
+        lines.append(f"corpus: {report.pool_evictions} dominated pool "
+                     "entries evicted")
     return "\n".join(lines) + "\n"

@@ -523,7 +523,7 @@ class SpawnRaceRule(ProgramRule):
         "core.suite.run_conformance_suite",
         "core.fuzz.fuzzer.LuminaFuzzer._score_batch",
         "core.fuzz.fuzzer.LuminaFuzzer.run",
-        "__main__.cmd_sweep",
+        "core.sweep.run_sweep",
     )
     _MERGE_RECEIVER_HINTS = ("coverage", "telemetry", "registry")
     _MERGE_RECEIVER_NAMES = {"cov", "session", "registry", "total", "tel"}

@@ -1,0 +1,40 @@
+"""repro.service — the long-running campaign daemon and its clients.
+
+The testbed-as-a-service layer (ROADMAP item 1, modeled on FlockLab2's
+testbed-management server): a persistent priority job queue accepting
+run/suite/fuzz/sweep submissions as versioned :class:`JobSpec`
+documents, a dispatcher executing them one at a time in isolated job
+processes (store replay short-circuits fully cached jobs without
+spawning anything), background retention over the shared campaign
+store, and a stdlib ``http.server`` REST/JSON API —
+``submit``/``status``/``results``/``cancel``/``progress``/``health``
+under ``/api/v1/``.
+
+Component map (see DESIGN.md for the FlockLab2 correspondence):
+
+* :mod:`jobspec`    — versioned job documents + fingerprints
+* :mod:`jobs`       — the single local execution path (`execute_jobspec`)
+* :mod:`queue`      — journaled priority queue, crash-resumable
+* :mod:`dispatcher` — job executors (process / inline) + dispatch loop
+* :mod:`retention`  — background ``prune``/``gc`` over the store
+* :mod:`daemon`     — ties the above together under one state dir
+* :mod:`http`       — the REST/JSON surface
+* :mod:`client`     — ``urllib``-based Client (submit/status/.../wait)
+
+Everything a result document contains is deterministic: a suite
+submitted through the service renders byte-identical to ``python -m
+repro suite`` with the same config and seed.
+"""
+
+from .client import Client, ServiceError
+from .daemon import CampaignDaemon
+from .jobs import JobOutcome, execute_jobspec
+from .jobspec import JobSpec, decode_jobspec, encode_jobspec
+from .queue import Job, JobQueue, JobState
+
+__all__ = [
+    "JobSpec", "encode_jobspec", "decode_jobspec",
+    "JobOutcome", "execute_jobspec",
+    "Job", "JobQueue", "JobState",
+    "CampaignDaemon", "Client", "ServiceError",
+]

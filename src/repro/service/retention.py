@@ -1,0 +1,80 @@
+"""Background store retention — the daemon's housekeeping thread.
+
+Wraps the campaign store's existing ``prune`` (evict oldest entries
+beyond a cap) and ``gc`` (rebuild the index from the objects tree)
+into a periodic pass, the service-side counterpart of FlockLab2's
+``flocklab_cleaner`` / ``flocklab_retention_cleaner`` cron jobs.
+
+A pass never runs while a job is executing: the job process owns the
+store during execution, and pruning under it could evict an entry the
+job just wrote. The thread simply skips the tick and retries next
+interval; counters record both outcomes for ``/api/v1/health``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+__all__ = ["RetentionDaemon"]
+
+
+class RetentionDaemon:
+    """Periodic ``gc`` + ``prune`` over the service store.
+
+    ``store_factory`` opens a *fresh* store handle per pass (same
+    staleness rationale as the dispatcher); ``busy`` reports whether a
+    job is currently executing. ``retain_entries`` of None disables
+    pruning — gc alone still heals crash-orphaned objects.
+    """
+
+    def __init__(self, store_factory: Callable,
+                 busy: Callable[[], bool],
+                 interval_s: float = 60.0,
+                 retain_entries: Optional[int] = None):
+        self.store_factory = store_factory
+        self.busy = busy
+        self.interval_s = interval_s
+        self.retain_entries = retain_entries
+        self.counters: Dict[str, int] = {
+            "passes": 0, "skipped-busy": 0, "pruned": 0, "gc-entries": 0,
+        }
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-retention",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            self._thread = None
+
+    def run_pass(self) -> bool:
+        """One retention pass now; False when skipped (job running)."""
+        if self.busy():
+            self.counters["skipped-busy"] += 1
+            return False
+        store = self.store_factory()
+        if store is None:
+            return False
+        self.counters["gc-entries"] = store.gc()
+        if self.retain_entries is not None:
+            self.counters["pruned"] += store.prune(self.retain_entries)
+        self.counters["passes"] += 1
+        return True
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.run_pass()
+            except OSError:
+                # A torn store tree heals on the next pass; the
+                # housekeeping thread must outlive transient IO noise.
+                continue

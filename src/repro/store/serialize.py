@@ -14,7 +14,8 @@ from a fresh one.
 
 from __future__ import annotations
 
-from typing import Dict
+import warnings
+from typing import Dict, Optional, Tuple
 
 from ..core.config import TestConfig
 from ..core.intent import QpMetadata
@@ -26,12 +27,68 @@ from ..net.headers import ETH_HEADER_LEN
 from ..rdma.verbs import Verb, WcStatus
 
 __all__ = [
+    "DOCUMENT_SCHEMA_VERSION",
+    "wrap_document", "unwrap_document",
     "encode_result", "decode_result",
     "encode_score", "decode_score",
     "encode_check_result", "decode_check_result",
     "encode_analyzer_result", "decode_analyzer_result",
     "encode_fuzz_report", "decode_fuzz_report",
 ]
+
+#: Version stamped into every JSON document that crosses the wire or
+#: lands on disk as a standalone file (job specs, job status payloads,
+#: result documents, ``save_result`` files). Bump when an envelope's
+#: ``body`` shape changes incompatibly.
+DOCUMENT_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Versioned document envelope
+# ---------------------------------------------------------------------------
+
+def wrap_document(kind: str, body: Dict) -> Dict:
+    """Wrap ``body`` in the versioned envelope every persisted or
+    wire-crossing JSON document carries.
+
+    The envelope is deliberately tiny — ``schema-version`` names the
+    format revision, ``kind`` what the body is (``job-spec``,
+    ``job-status``, ``job-result``, ``test-result``, ...) — so readers
+    can dispatch before touching the body.
+    """
+    return {"schema-version": DOCUMENT_SCHEMA_VERSION, "kind": kind,
+            "body": body}
+
+
+def unwrap_document(data: Dict, kind: Optional[str] = None,
+                    ) -> Tuple[int, Dict]:
+    """``(schema_version, body)`` of an envelope, tolerating legacy docs.
+
+    A document without a ``schema-version`` key predates the envelope;
+    it is returned as-is with version ``0`` and a DeprecationWarning so
+    producers migrate. ``kind`` (when given) is validated against the
+    envelope, and a document from a *newer* schema than this code
+    understands is rejected rather than misread.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"expected a JSON object, got {type(data).__name__}")
+    if "schema-version" not in data:
+        warnings.warn(
+            "loading an unversioned legacy document; re-save it to add "
+            "the schema-version envelope", DeprecationWarning, stacklevel=2)
+        return 0, data
+    version = int(data["schema-version"])
+    if version > DOCUMENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"document schema-version {version} is newer than this "
+            f"code understands (max {DOCUMENT_SCHEMA_VERSION})")
+    if kind is not None and data.get("kind") != kind:
+        raise ValueError(f"expected a {kind!r} document, "
+                         f"got {data.get('kind')!r}")
+    body = data.get("body")
+    if not isinstance(body, dict):
+        raise ValueError("versioned document has no body object")
+    return version, body
 
 
 # ---------------------------------------------------------------------------
@@ -389,11 +446,17 @@ def decode_analyzer_result(data: Dict):
 # ---------------------------------------------------------------------------
 
 def save_result_file(result: TestResult, path: str) -> str:
-    """Write one result as standalone JSON (the ``repro.api`` format)."""
+    """Write one result as standalone JSON (the ``repro.api`` format).
+
+    The file carries the versioned document envelope
+    (:func:`wrap_document`); :func:`load_result_file` still reads
+    pre-envelope files, with a DeprecationWarning.
+    """
     import json
 
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(encode_result(result), handle, sort_keys=True, indent=1)
+        json.dump(wrap_document("test-result", encode_result(result)),
+                  handle, sort_keys=True, indent=1)
     return path
 
 
@@ -402,4 +465,6 @@ def load_result_file(path: str) -> TestResult:
     import json
 
     with open(path, "r", encoding="utf-8") as handle:
-        return decode_result(json.load(handle))
+        data = json.load(handle)
+    _version, body = unwrap_document(data, kind=None)
+    return decode_result(body)
